@@ -1,0 +1,42 @@
+"""Shared scaling knobs for the benchmark suite.
+
+The paper runs 1 M-file campaigns for 8 hours on a 32 GB emulated device;
+this suite divides counts by ~1000 and the device DRAM by the same factor
+(see DESIGN.md, "Scaling note").  All reported quantities are ratios.
+"""
+
+from repro.bench.harness import DEFAULT_GEOMETRY
+from repro.workloads import (
+    Fileserver,
+    MicroCreate,
+    MicroDelete,
+    MicroMkdir,
+    MicroRmdir,
+    OLTP,
+    Varmail,
+    Webproxy,
+    Webserver,
+)
+
+GEOMETRY = DEFAULT_GEOMETRY
+ALL_FS = ["ext4", "f2fs", "nova", "pmfs", "bytefs"]
+FS_LABEL = {"ext4": "E", "f2fs": "F", "nova": "N", "pmfs": "P", "bytefs": "B"}
+
+
+def micro_workloads():
+    return {
+        "create": MicroCreate(n_files=480),
+        "delete": MicroDelete(n_files=480),
+        "mkdir": MicroMkdir(n_dirs=480),
+        "rmdir": MicroRmdir(n_dirs=480),
+    }
+
+
+def macro_workloads():
+    return {
+        "varmail": Varmail(ops_per_thread=20),
+        "fileserver": Fileserver(ops_per_thread=12),
+        "webproxy": Webproxy(ops_per_thread=12),
+        "webserver": Webserver(ops_per_thread=10),
+        "oltp": OLTP(ops_per_thread=15),
+    }

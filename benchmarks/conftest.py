@@ -1,0 +1,47 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table or figure from the paper.  The
+reproduced rows/series are collected here and printed in the terminal
+summary, and also written to ``benchmarks/results/<name>.txt`` so the
+numbers survive the run.
+
+``pytest-benchmark`` measures the *wall time of the simulation harness*;
+the paper's quantities (throughput, latency, traffic) are *simulated*
+metrics, reported in the printed tables and in each benchmark's
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+_TABLES: List[str] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_table():
+    """Record a reproduced table: shown in the summary and saved to disk."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES.append(text)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(_RESULTS_DIR, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ reproduced tables and figures ================"
+    )
+    for text in _TABLES:
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,73 @@
+"""Figures 10 and 11: SSD-internal flash traffic.
+
+Paper averages: ByteFS reduces flash traffic by 2.9x / 2.1x / 3.2x /
+2.2x vs Ext4 / F2FS / NOVA / PMFS, thanks to coalescing small writes in
+the in-device log.  The paper also notes ByteFS *can* show higher flash
+read traffic on some benches (read-modify-write during log cleaning) —
+which is tolerated because cleaning is off the critical path.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table
+from benchmarks._scale import ALL_FS, FS_LABEL, GEOMETRY, macro_workloads, micro_workloads
+
+
+def _run(workloads):
+    out = {}
+    for wl_name, wl in workloads.items():
+        for fs in ALL_FS:
+            out[(fs, wl_name)] = run_workload(
+                fs, wl, geometry=GEOMETRY, unmount=True
+            )
+    return out
+
+
+def _table(results, workload_names, title, fname, record_table):
+    rows = []
+    for wl in workload_names:
+        base = results[("ext4", wl)]
+        base_total = base.flash_read + base.flash_write or 1
+        row = [wl]
+        for fs in ALL_FS:
+            r = results[(fs, wl)]
+            row.append((r.flash_read + r.flash_write) / base_total)
+        rows.append(row)
+    table = format_table(
+        title, ["workload"] + [FS_LABEL[f] for f in ALL_FS], rows
+    )
+    record_table(fname, table)
+    return rows
+
+
+def test_fig10_micro_flash(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: _run(micro_workloads()), rounds=1, iterations=1
+    )
+    _table(
+        results, list(micro_workloads()),
+        "Figure 10: flash traffic on micro benches (normalized to Ext4)",
+        "fig10_micro_flash", record_table,
+    )
+    # ByteFS coalesces metadata: far fewer flash writes than Ext4 on the
+    # pure-metadata benches.
+    for wl in ("mkdir", "rmdir"):
+        assert (
+            results[("bytefs", wl)].flash_write
+            < results[("ext4", wl)].flash_write
+        )
+
+
+def test_fig11_macro_flash(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: _run(macro_workloads()), rounds=1, iterations=1
+    )
+    _table(
+        results, list(macro_workloads()),
+        "Figure 11: flash traffic on macro workloads (normalized to Ext4)",
+        "fig11_macro_flash", record_table,
+    )
+    for wl in ("varmail", "oltp"):
+        assert (
+            results[("bytefs", wl)].flash_write
+            < results[("ext4", wl)].flash_write
+        )

@@ -1,0 +1,64 @@
+"""Figure 12: performance breakdown of the ByteFS design components.
+
+Variants (cumulative): ByteFS-Dual (dual interface for metadata only,
+page-granular device cache), ByteFS-Log (+ firmware log-structured
+memory and transactions), ByteFS (+ adaptive byte/block data path).
+
+Paper shape: each component adds throughput; varmail/fileserver benefit
+from both the dual interface and the log; webproxy mostly from the dual
+interface; OLTP from the log + flexible interface selection.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, normalize
+from repro.workloads import OLTP, Fileserver, Varmail, Webproxy
+from benchmarks._scale import GEOMETRY
+
+VARIANTS = ["ext4", "bytefs-dual", "bytefs-log", "bytefs"]
+
+
+def _workloads():
+    return {
+        "varmail": Varmail(ops_per_thread=20),
+        "fileserver": Fileserver(ops_per_thread=12),
+        "webproxy": Webproxy(ops_per_thread=12),
+        "oltp": OLTP(ops_per_thread=15),
+    }
+
+
+def _run_all():
+    tput = {}
+    for wl_name, wl in _workloads().items():
+        for fs in VARIANTS:
+            tput[(fs, wl_name)] = run_workload(
+                fs, wl, geometry=GEOMETRY
+            ).throughput
+    return tput
+
+
+def test_fig12(benchmark, record_table):
+    tput = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    norm = {}
+    for wl in _workloads():
+        values = {fs: tput[(fs, wl)] for fs in VARIANTS}
+        norm[wl] = normalize(values, "ext4")
+        rows.append([wl] + [norm[wl][fs] for fs in VARIANTS])
+    table = format_table(
+        "Figure 12: ByteFS component ablation (normalized to Ext4)",
+        ["workload", "ext4", "dual", "log", "full"],
+        rows,
+    )
+    record_table("fig12_ablation", table)
+    for wl in _workloads():
+        # The full design is the best (or near-tied-best) ByteFS variant
+        # and never loses to Ext4.  (On OLTP at this scale, Dual's
+        # page-granular device *read* cache trades against coordinated
+        # caching within a few percent — see EXPERIMENTS.md.)
+        full = norm[wl]["bytefs"]
+        assert full >= norm[wl]["bytefs-dual"] * 0.90
+        assert full >= norm[wl]["bytefs-log"] * 0.95
+        assert full >= 0.9
+    # The firmware log (deferring the per-write durability barrier to a
+    # single COMMIT) must contribute on the fsync-heavy mail workload.
+    assert norm["varmail"]["bytefs-log"] > norm["varmail"]["bytefs-dual"]

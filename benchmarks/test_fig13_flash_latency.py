@@ -1,0 +1,64 @@
+"""Figure 13: sensitivity to NAND flash latency, including the CXL point.
+
+The paper sweeps flash read/write latencies from low-end to high-end
+NAND and adds a CXL configuration (175 ns cacheline latency + 3/80 us
+flash).  Shapes: ByteFS beats F2FS and NOVA at every latency point; its
+advantage grows with flash *write* latency (the log hides programs);
+NOVA gains a lot from CXL but stays behind ByteFS.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table
+from repro.nand.timing import TimingModel
+from repro.workloads import Varmail
+from benchmarks._scale import GEOMETRY
+
+POINTS = [
+    ("3/80", 3, 80, False),
+    ("40/60", 40, 60, False),
+    ("60/150", 60, 150, False),
+    ("95/208", 95, 208, False),
+    ("3/80*CXL", 3, 80, True),
+]
+SYSTEMS = ["f2fs", "nova", "bytefs"]
+
+
+def _run_all():
+    out = {}
+    for label, read_us, write_us, cxl in POINTS:
+        timing = TimingModel().with_flash_latency(read_us, write_us)
+        if cxl:
+            timing = timing.as_cxl()
+        for fs in SYSTEMS:
+            wl = Varmail(ops_per_thread=15)
+            out[(fs, label)] = run_workload(
+                fs, wl, geometry=GEOMETRY, timing=timing
+            ).throughput
+    return out
+
+
+def test_fig13(benchmark, record_table):
+    tput = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for label, *_ in POINTS:
+        rows.append(
+            [label] + [tput[(fs, label)] / 1000.0 for fs in SYSTEMS]
+        )
+    table = format_table(
+        "Figure 13: varmail throughput (kops/s) vs flash latency (R/W us)",
+        ["flash R/W"] + SYSTEMS,
+        rows,
+    )
+    record_table("fig13_flash_latency", table)
+    # ByteFS wins at every latency point.
+    for label, *_ in POINTS:
+        assert tput[("bytefs", label)] > tput[("f2fs", label)]
+        assert tput[("bytefs", label)] > tput[("nova", label)]
+    # ByteFS's advantage over F2FS grows with flash write latency.
+    adv_low = tput[("bytefs", "3/80")] / tput[("f2fs", "3/80")]
+    adv_high = tput[("bytefs", "95/208")] / tput[("f2fs", "95/208")]
+    assert adv_high > adv_low * 0.9
+    # CXL helps NOVA (cheaper byte interface) more than it helps F2FS.
+    nova_gain = tput[("nova", "3/80*CXL")] / tput[("nova", "3/80")]
+    f2fs_gain = tput[("f2fs", "3/80*CXL")] / tput[("f2fs", "3/80")]
+    assert nova_gain > f2fs_gain

@@ -1,0 +1,51 @@
+"""Figure 14: sensitivity to the SSD DRAM write-log size.
+
+The paper sweeps 64 MB -> 1 GB (normalized to 64 MB) and finds most
+workloads gain from a larger log (more coalescing before flushing),
+while workloads with good write locality (OLTP) gain only marginally.
+Scaled here by the same ~1/256 factor as the device.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, normalize
+from repro.workloads import OLTP, Varmail
+from benchmarks._scale import GEOMETRY
+
+LOG_SIZES = [256 << 10, 512 << 10, 1 << 20, 2 << 20]  # 64MB..1GB scaled
+
+
+def _run_all():
+    out = {}
+    for wl_name, wl_cls, kwargs in (
+        ("varmail", Varmail, dict(ops_per_thread=20)),
+        ("oltp", OLTP, dict(ops_per_thread=15)),
+    ):
+        for log_bytes in LOG_SIZES:
+            out[(wl_name, log_bytes)] = run_workload(
+                "bytefs", wl_cls(**kwargs), geometry=GEOMETRY,
+                log_bytes=log_bytes,
+            ).throughput
+    return out
+
+
+def test_fig14(benchmark, record_table):
+    tput = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    norm = {}
+    for wl in ("varmail", "oltp"):
+        values = {str(s): tput[(wl, s)] for s in LOG_SIZES}
+        norm[wl] = normalize(values, str(LOG_SIZES[0]))
+        rows.append([wl] + [norm[wl][str(s)] for s in LOG_SIZES])
+    table = format_table(
+        "Figure 14: throughput vs log size (normalized to smallest)",
+        ["workload"] + [f"{s >> 10}KB" for s in LOG_SIZES],
+        rows,
+    )
+    record_table("fig14_log_size", table)
+    for wl in ("varmail", "oltp"):
+        # A larger log never hurts more than a few percent.
+        assert norm[wl][str(LOG_SIZES[-1])] >= 0.9
+    benchmark.extra_info.update(
+        {wl: {str(s): round(tput[(wl, s)], 1) for s in LOG_SIZES}
+         for wl in ("varmail", "oltp")}
+    )

@@ -1,0 +1,87 @@
+"""Figure 1: host-SSD traffic breakdown by data structure (Ext4, F2FS).
+
+Reproduces all four panels: write and read traffic, micro benches and
+macro workloads, broken down per file-system data structure.  Key shapes
+from §3.2-3.3: inodes dominate metadata writes, journaling is a large
+share of Ext4's writes under ordered mode, superblock traffic is
+negligible, dentries matter on directory-heavy workloads.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table
+from repro.stats.traffic import StructKind
+from benchmarks._scale import GEOMETRY, macro_workloads, micro_workloads
+
+KINDS = [
+    StructKind.SUPERBLOCK,
+    StructKind.BITMAP,
+    StructKind.INODE,
+    StructKind.DENTRY,
+    StructKind.DATA_PTR,
+    StructKind.JOURNAL,
+    StructKind.DATA,
+]
+
+
+def _run_all():
+    out = {}
+    workloads = {**micro_workloads(), **macro_workloads()}
+    for wl_name, wl in workloads.items():
+        for fs in ("ext4", "f2fs"):
+            out[(fs, wl_name)] = run_workload(fs, wl, geometry=GEOMETRY)
+    return out
+
+
+def _panel(results, attr, title, fname, record_table):
+    rows = []
+    for (fs, wl_name), r in sorted(results.items()):
+        breakdown = getattr(r, attr)
+        total = sum(breakdown.values()) or 1
+        rows.append(
+            [f"{fs}:{wl_name}"]
+            + [100.0 * breakdown.get(k, 0) / total for k in KINDS]
+        )
+    table = format_table(
+        title,
+        ["fs:workload"] + [k.value[:9] for k in KINDS],
+        rows,
+        col_width=11,
+    )
+    record_table(fname, table)
+
+
+def test_fig1_all_panels(benchmark, record_table):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    _panel(
+        results, "write_breakdown",
+        "Figure 1 (a,b): write traffic breakdown by structure (%)",
+        "fig1_write_breakdown", record_table,
+    )
+    _panel(
+        results, "read_breakdown",
+        "Figure 1 (c,d): read traffic breakdown by structure (%)",
+        "fig1_read_breakdown", record_table,
+    )
+
+    def share(fs, wl, kind, attr="write_breakdown"):
+        bd = getattr(results[(fs, wl)], attr)
+        return bd.get(kind, 0) / (sum(bd.values()) or 1)
+
+    # superblock traffic is negligible everywhere (paper: 0.23 % avg)
+    for (fs, wl) in results:
+        assert share(fs, wl, StructKind.SUPERBLOCK) < 0.05
+    # metadata (inode + journaled inode updates) is a major share on the
+    # metadata-heavy create bench
+    assert (
+        share("ext4", "create", StructKind.INODE)
+        + share("ext4", "create", StructKind.JOURNAL)
+    ) > 0.20
+    # journaling is a big slice of Ext4 writes on fsync-heavy varmail
+    assert share("ext4", "varmail", StructKind.JOURNAL) > 0.15
+    # F2FS has no journal traffic at all
+    for wl in ("varmail", "oltp"):
+        assert share("f2fs", wl, StructKind.JOURNAL) == 0.0
+    # dentry writes matter on directory-churning workloads for ext4
+    assert share("ext4", "mkdir", StructKind.DENTRY) > 0.05
+    # data dominates writes on the data-heavy fileserver
+    assert share("ext4", "fileserver", StructKind.DATA) > 0.5

@@ -1,0 +1,62 @@
+"""Figure 6: overall throughput of E/F/N/P/B, normalized to Ext4.
+
+Paper shapes to reproduce:
+
+* micro: ByteFS beats Ext4 (6.0x in the paper) and F2FS (2.4x) on create;
+  delete is roughly a wash; NOVA/PMFS are mostly *worse* than Ext4/F2FS;
+* varmail: ByteFS > F2FS (1.9x paper) > Ext4; NOVA/PMFS poor;
+* webserver/webproxy read-heavy: ByteFS ~= Ext4 ~= F2FS (block reads +
+  host caching), webproxy slightly favours ByteFS (1.3x paper);
+* oltp: ByteFS clearly ahead of Ext4 (4.1x paper).
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, normalize
+from benchmarks._scale import ALL_FS, FS_LABEL, GEOMETRY, macro_workloads, micro_workloads
+
+
+def _run_all():
+    tput = {}
+    workloads = {**micro_workloads(), **macro_workloads()}
+    for wl_name, wl in workloads.items():
+        for fs in ALL_FS:
+            tput[(fs, wl_name)] = run_workload(
+                fs, wl, geometry=GEOMETRY
+            ).throughput
+    return tput
+
+
+def test_fig6(benchmark, record_table):
+    tput = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    workload_names = list(micro_workloads()) + list(macro_workloads())
+    rows = []
+    norm = {}
+    for wl in workload_names:
+        values = {fs: tput[(fs, wl)] for fs in ALL_FS}
+        norm[wl] = normalize(values, "ext4")
+        rows.append([wl] + [norm[wl][fs] for fs in ALL_FS])
+    table = format_table(
+        "Figure 6: throughput normalized to Ext4",
+        ["workload"] + [FS_LABEL[f] for f in ALL_FS],
+        rows,
+    )
+    record_table("fig6_throughput", table)
+    for wl in workload_names:
+        benchmark.extra_info[wl] = {
+            fs: round(norm[wl][fs], 3) for fs in ALL_FS
+        }
+    # --- shape assertions (who wins, roughly by how much) ---
+    # create: ByteFS ahead of both block file systems
+    assert norm["create"]["bytefs"] > 1.5
+    assert norm["create"]["bytefs"] > norm["create"]["f2fs"]
+    # NOVA/PMFS do not beat ByteFS anywhere
+    for wl in workload_names:
+        assert norm[wl]["bytefs"] >= norm[wl]["nova"] * 0.95
+        assert norm[wl]["bytefs"] >= norm[wl]["pmfs"] * 0.95
+    # varmail: ByteFS > F2FS > Ext4
+    assert norm["varmail"]["bytefs"] > norm["varmail"]["f2fs"] > 1.0
+    # read-heavy webserver: E/F/B within ~20% of each other
+    assert 0.8 < norm["webserver"]["bytefs"] < 1.3
+    assert 0.8 < norm["webserver"]["f2fs"] < 1.3
+    # oltp: ByteFS clearly ahead of Ext4
+    assert norm["oltp"]["bytefs"] > 1.4

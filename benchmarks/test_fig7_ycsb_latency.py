@@ -1,0 +1,66 @@
+"""Figure 7: YCSB A-F average and 95th-percentile latency on the LSM KV
+store (RocksDB stand-in), normalized to Ext4.
+
+Paper shapes: ByteFS improves read avg/tail latency by ~2.3x/2.0x and
+write latency by ~1.3x/1.6x vs F2FS on the 50/50 workloads (A, F);
+YCSB-C (read-only) and YCSB-E (uniform scans) show little difference.
+"""
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table
+from repro.workloads import YCSB
+from benchmarks._scale import GEOMETRY
+
+SYSTEMS = ["ext4", "f2fs", "bytefs"]
+LETTERS = ["A", "B", "C", "D", "E", "F"]
+
+
+def _run_all():
+    out = {}
+    for letter in LETTERS:
+        for fs in SYSTEMS:
+            wl = YCSB(
+                letter, n_records=600, n_ops=600, n_threads=4,
+                value_size=400,
+            )
+            r = run_workload(fs, wl, geometry=GEOMETRY)
+            out[(fs, letter)] = r
+    return out
+
+
+def test_fig7(benchmark, record_table):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = []
+    for letter in LETTERS:
+        for op in ("read", "update"):
+            base = results[("ext4", letter)].latency
+            if base.count(op) == 0 or base.mean(op) == 0:
+                continue
+            row = [f"{letter}:{op}"]
+            for fs in SYSTEMS:
+                lat = results[(fs, letter)].latency
+                row.append(base.mean(op) / max(1e-9, lat.mean(op)))
+                row.append(
+                    base.percentile(op, 95)
+                    / max(1e-9, lat.percentile(op, 95))
+                )
+            rows.append(row)
+    cols = ["wl:op"]
+    for fs in SYSTEMS:
+        cols += [f"{fs[:4]} avg", f"{fs[:4]} p95"]
+    table = format_table(
+        "Figure 7: YCSB latency speedup vs Ext4 (higher = faster)",
+        cols,
+        rows,
+        col_width=11,
+    )
+    record_table("fig7_ycsb_latency", table)
+    # Shape: ByteFS reads on the write-heavy mixes are not slower than
+    # Ext4's (writes block reads in the LSM; ByteFS commits faster).
+    lat_b = results[("bytefs", "A")].latency
+    lat_e = results[("ext4", "A")].latency
+    assert lat_b.mean("update") < lat_e.mean("update")
+    # Read-only YCSB-C: all three close (within 30%).
+    c_b = results[("bytefs", "C")].latency.mean("read")
+    c_e = results[("ext4", "C")].latency.mean("read")
+    assert 0.7 < c_b / c_e < 1.4

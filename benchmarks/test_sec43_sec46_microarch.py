@@ -1,0 +1,92 @@
+"""§4.3 / §4.6 micro-claims: skip-list index cost and CoW overhead.
+
+* §4.3: average lookup latency of a fully utilized 256 MB log is 89 ns
+  on the embedded core, and the index costs ~21 MB of SSD DRAM
+  (~8 % of the log).  We validate the simulated-firmware cost model and
+  the index's real memory accounting at our scale.
+* §4.6: CoW duplicate pages occupy ~16 % of the page cache on average;
+  XOR diffing runs at AVX2 speed (936 cycles / 4 KB page).
+"""
+
+import random
+
+from repro.bench.report import format_table
+from repro.host.page_cache import CachedPage
+from repro.ssd.firmware.log_index import ChunkEntry, LogIndex
+from repro.ssd.firmware.write_log import aligned_entry_size
+
+
+def _fill_index(log_bytes=1 << 20):
+    idx = LogIndex(64 << 20, 4096, partition_bytes=1 << 20)
+    rng = random.Random(9)
+    used = 0
+    seq = 0
+    while used < log_bytes:
+        lpa = rng.randrange(1024)
+        # realistic mixed entry sizes: 64 B cachelines up to 1 KB runs
+        length = rng.choice((64, 128, 256, 512, 1024))
+        offset = rng.randrange(max(1, (4096 - length) // 64)) * 64
+        idx.insert(
+            lpa,
+            ChunkEntry(offset=offset, length=length, log_off=used,
+                       txid=None, seq=seq, data=bytes(length)),
+        )
+        used += aligned_entry_size(length)
+        seq += 1
+    return idx
+
+
+def test_sec43_index_lookup_and_memory(benchmark, record_table):
+    idx = benchmark.pedantic(_fill_index, rounds=1, iterations=1)
+    rng = random.Random(10)
+    hits = sum(
+        1 for _ in range(2000) if idx.lookup(rng.randrange(1024)) is not None
+    )
+    mem = idx.memory_bytes()
+    ratio = mem / (1 << 20)
+    rows = [
+        ["chunks indexed", idx.n_chunks],
+        ["pages indexed", idx.n_pages],
+        ["lookups hit (of 2000)", hits],
+        ["index bytes", mem],
+        ["index/log ratio", round(ratio, 3)],
+    ]
+    table = format_table(
+        "Sec 4.3: write-log index cost (paper: ~21MB per 256MB log = 0.08)",
+        ["metric", "value"], rows, col_width=24,
+    )
+    record_table("sec43_skiplist", table)
+    # the index overhead ratio should be under ~15% of the log, as in the
+    # paper (21/256 = 8.2%)
+    assert ratio < 0.15
+    assert hits > 1500  # most pages of a full log are indexed
+
+
+def test_sec46_cow_xor(benchmark, record_table):
+    def run():
+        rng = random.Random(3)
+        ratios = []
+        for _ in range(200):
+            page = CachedPage(bytes(4096), 4096)
+            page.mark_dirty(cow=True)
+            # small random overwrites (the buffered-write common case)
+            for _w in range(rng.randrange(1, 4)):
+                off = rng.randrange(4096 - 64)
+                page.data[off : off + 32] = bytes([1]) * 32
+            ratios.append(page.modified_ratio())
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    below_threshold = sum(1 for r in ratios if r < 1 / 8) / len(ratios)
+    rows = [
+        ["pages sampled", len(ratios)],
+        ["mean modified ratio", round(sum(ratios) / len(ratios), 4)],
+        ["share taking byte path", round(below_threshold, 3)],
+    ]
+    table = format_table(
+        "Sec 4.6: CoW modified-ratio distribution for small overwrites",
+        ["metric", "value"], rows, col_width=24,
+    )
+    record_table("sec46_xor_cow", table)
+    # small writes should nearly all select the byte interface
+    assert below_threshold > 0.95

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Demonstrate crash consistency and firmware-level recovery (§4.7).
+
+We write three files with different durability levels, pull the plug,
+run RECOVER(), and show exactly what survived.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.core import build_stack
+from repro.fs.vfs import O_CREAT, O_RDWR
+
+
+def main() -> None:
+    clock, stats, device, fs = build_stack("bytefs")
+
+    # 1. fsync'd file: the transaction committed via COMMIT(TxID).
+    fd = fs.open("/durable.txt", O_CREAT | O_RDWR)
+    fs.write(fd, b"committed before the crash")
+    fs.fsync(fd)
+    fs.close(fd)
+
+    # 2. created but never synced: both the (batched) namespace
+    #    transaction and the data transaction are still uncommitted.
+    fd = fs.open("/half.txt", O_CREAT | O_RDWR)
+    fs.write(fd, b"this data was never fsynced")
+
+    # 3. power failure.  Battery-backed SSD DRAM keeps the write log and
+    #    TxLog; everything volatile on the host is gone.
+    device.power_fail()
+    fs.crash()
+
+    t0 = clock.now
+    report = fs.remount()  # issues RECOVER() to the firmware
+    print("recovery report:")
+    print(f"  log entries scanned   : {report['scanned_entries']:.0f}")
+    print(f"  uncommitted discarded : {report['discarded_entries']:.0f}")
+    print(f"  pages flushed to flash: {report['flushed_pages']:.0f}")
+    print(f"  simulated duration    : {report['duration_ns'] / 1e6:.3f} ms")
+
+    fd = fs.open("/durable.txt", O_RDWR)
+    print("\n/durable.txt ->", fs.pread(fd, 0, 100))
+    fs.close(fd)
+    print("/half.txt exists:", fs.exists("/half.txt"),
+          "(its transactions never committed, so the create and the",
+          "data were both discarded — same durability contract as Ext4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §3 study in miniature: where does the I/O
+amplification of a block-interface file system come from, and how much
+of it does the dual interface remove?
+
+Run:  python examples/io_amplification_study.py
+"""
+
+from repro.bench.harness import run_workload
+from repro.stats.traffic import StructKind
+from repro.workloads import Varmail
+
+
+def main() -> None:
+    kinds = [
+        StructKind.BITMAP, StructKind.INODE, StructKind.DENTRY,
+        StructKind.DATA_PTR, StructKind.JOURNAL, StructKind.DATA,
+    ]
+    header = f"{'fs':>8} {'W amp':>7} " + "".join(
+        f"{k.value[:8]:>10}" for k in kinds
+    )
+    print("write traffic breakdown (bytes) on Varmail:")
+    print(header)
+    for fs_name in ("ext4", "f2fs", "nova", "pmfs", "bytefs"):
+        r = run_workload(
+            fs_name, Varmail(ops_per_thread=15), unmount=True
+        )
+        row = f"{fs_name:>8} {r.write_amplification:7.2f} " + "".join(
+            f"{r.write_breakdown.get(k, 0):>10}" for k in kinds
+        )
+        print(row)
+    print("\nEvery metadata structure that the paper's Table 3 marks as")
+    print("'prefers byte writes' shrinks by an order of magnitude under")
+    print("ByteFS; journal traffic disappears entirely because the")
+    print("firmware write log doubles as the redo log.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Sensitivity sweep (Figures 13/14): vary flash latency — including a
+CXL configuration — and the SSD DRAM log size, and watch how the design
+points move.
+
+Run:  python examples/sensitivity_sweep.py
+"""
+
+from repro.bench.harness import run_workload
+from repro.nand.timing import TimingModel
+from repro.workloads import Varmail
+
+
+def flash_latency_sweep() -> None:
+    print("flash-latency sweep (varmail, kops/s):")
+    print(f"{'flash R/W us':>14} {'f2fs':>8} {'nova':>8} {'bytefs':>8}")
+    points = [(3, 80), (40, 60), (95, 208)]
+    for read_us, write_us in points:
+        timing = TimingModel().with_flash_latency(read_us, write_us)
+        row = f"{f'{read_us}/{write_us}':>14}"
+        for fs_name in ("f2fs", "nova", "bytefs"):
+            r = run_workload(
+                fs_name, Varmail(ops_per_thread=10), timing=timing
+            )
+            row += f" {r.throughput / 1000:8.1f}"
+        print(row)
+    # the CXL point: 175 ns cacheline access (paper's "3/80*")
+    timing = TimingModel().with_flash_latency(3, 80).as_cxl()
+    row = f"{'3/80 + CXL':>14}"
+    for fs_name in ("f2fs", "nova", "bytefs"):
+        r = run_workload(
+            fs_name, Varmail(ops_per_thread=10), timing=timing
+        )
+        row += f" {r.throughput / 1000:8.1f}"
+    print(row)
+
+
+def log_size_sweep() -> None:
+    print("\nlog-size sweep (varmail on ByteFS):")
+    print(f"{'log size':>10} {'kops/s':>8} {'cleanings':>10}")
+    for log_bytes in (256 << 10, 512 << 10, 1 << 20, 2 << 20):
+        r = run_workload(
+            "bytefs", Varmail(ops_per_thread=10), log_bytes=log_bytes
+        )
+        print(
+            f"{log_bytes >> 10:>9}K {r.throughput / 1000:8.1f} "
+            f"{r.counters.get('fw_log_cleanings', 0):>10}"
+        )
+
+
+if __name__ == "__main__":
+    flash_latency_sweep()
+    log_size_sweep()

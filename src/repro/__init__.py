@@ -1,0 +1,18 @@
+"""ByteFS reproduction (ASPLOS 2025).
+
+A discrete-event simulation of the full ByteFS system — the host file
+system, modified SSD firmware, the memory-semantic SSD device model,
+four baseline file systems, an LSM key-value store, and the paper's
+complete evaluation harness.
+
+Most users start with :func:`repro.core.build_stack`::
+
+    from repro.core import build_stack
+    clock, stats, device, fs = build_stack("bytefs")
+
+or the command line: ``python -m repro run --fs bytefs --workload varmail``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

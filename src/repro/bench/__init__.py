@@ -1,0 +1,12 @@
+"""Benchmark harness: build a stack, run a workload, collect results."""
+
+from repro.bench.harness import RunResult, run_workload, DEFAULT_GEOMETRY
+from repro.bench.report import format_table, normalize
+
+__all__ = [
+    "RunResult",
+    "run_workload",
+    "DEFAULT_GEOMETRY",
+    "format_table",
+    "normalize",
+]

@@ -1,0 +1,165 @@
+"""Run one workload against one file-system stack and collect metrics.
+
+Setup (file-set preparation) is excluded from measurement: statistics are
+reset and the measurement epoch recorded after ``workload.setup``.
+Threads are interleaved event-driven: the runner always advances the
+logical thread whose virtual clock is furthest behind, so device-level
+contention (shared flash channels, the PCIe link, the firmware core)
+shapes the aggregate throughput exactly as in a real multi-threaded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.bytefs import build_stack
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel
+from repro.sim.clock import SEC
+from repro.stats.traffic import (
+    Direction,
+    Interface,
+    LatencyRecorder,
+    StructKind,
+    TrafficStats,
+)
+from repro.workloads.base import Workload
+
+#: 256 MB of emulated flash: ample for the scaled-down workloads while
+#: keeping Python memory modest (pages are stored sparsely).
+DEFAULT_GEOMETRY = FlashGeometry(
+    n_channels=8,
+    ways_per_channel=1,
+    blocks_per_way=128,
+    pages_per_block=64,
+    page_size=4096,
+)
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one (fs, workload) run."""
+
+    fs_name: str
+    workload: str
+    ops: int
+    elapsed_s: float
+    latency: LatencyRecorder
+    meta_write: int
+    meta_read: int
+    data_write: int
+    data_read: int
+    byte_write: int
+    block_write: int
+    flash_read: int
+    flash_write: int
+    app_write: int
+    app_read: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: per-StructKind host<->SSD bytes (Figure 1/8/9 breakdowns)
+    write_breakdown: Dict[StructKind, int] = field(default_factory=dict)
+    read_breakdown: Dict[StructKind, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_s
+
+    @property
+    def host_write(self) -> int:
+        return self.meta_write + self.data_write
+
+    @property
+    def host_read(self) -> int:
+        return self.meta_read + self.data_read
+
+    @property
+    def write_amplification(self) -> float:
+        return self.host_write / self.app_write if self.app_write else float("nan")
+
+    @property
+    def read_amplification(self) -> float:
+        return self.host_read / self.app_read if self.app_read else float("nan")
+
+
+def run_workload(
+    fs_name: str,
+    workload: Workload,
+    geometry: Optional[FlashGeometry] = None,
+    timing: Optional[TimingModel] = None,
+    log_bytes: int = 1 << 20,
+    device_cache_bytes: int = 1 << 20,
+    page_cache_pages: int = 512,
+    unmount: bool = False,
+) -> RunResult:
+    """Build a fresh stack, run the workload, and collect metrics.
+
+    The device DRAM defaults (1 MB write log / 1 MB baseline page cache)
+    scale the paper's 256 MB SSD DRAM down by the same factor as the
+    workloads, so cache/log pressure appears at the same relative point.
+    """
+    clock, stats, device, fs = build_stack(
+        fs_name,
+        geometry=geometry or DEFAULT_GEOMETRY,
+        timing=timing,
+        n_threads=workload.n_threads,
+        log_bytes=log_bytes,
+        device_cache_bytes=device_cache_bytes,
+        page_cache_pages=page_cache_pages,
+    )
+    workload.setup(fs)
+    # Measurement epoch: everything before this is free.
+    clock.sync_all()
+    stats.reset()
+    t0 = clock.elapsed_ns
+    flash_reads0 = device.flash.reads
+    latency = LatencyRecorder()
+    gens = {tid: gen for tid, gen in enumerate(workload.make_threads(fs))}
+    ops = 0
+    while gens:
+        # Advance the thread that is furthest behind.
+        tid = min(gens, key=clock.time_of)
+        clock.switch(tid)
+        t_start = clock.now
+        try:
+            op_name = next(gens[tid])
+        except StopIteration:
+            del gens[tid]
+            continue
+        latency.record(op_name, clock.now - t_start)
+        ops += 1
+    workload.teardown(fs)
+    if unmount:
+        fs.unmount()
+    elapsed_s = (clock.elapsed_ns - t0) / SEC
+    meta_w = stats.metadata_bytes(Direction.WRITE)
+    meta_r = stats.metadata_bytes(Direction.READ)
+    data_w = stats.data_bytes(Direction.WRITE)
+    data_r = stats.data_bytes(Direction.READ)
+    return RunResult(
+        fs_name=fs_name,
+        workload=workload.name,
+        ops=ops,
+        elapsed_s=elapsed_s,
+        latency=latency,
+        meta_write=meta_w,
+        meta_read=meta_r,
+        data_write=data_w,
+        data_read=data_r,
+        byte_write=stats.host_ssd_bytes(
+            direction=Direction.WRITE, interface=Interface.BYTE
+        ),
+        block_write=stats.host_ssd_bytes(
+            direction=Direction.WRITE, interface=Interface.BLOCK
+        ),
+        flash_read=stats.flash_bytes(direction=Direction.READ),
+        flash_write=stats.flash_bytes(direction=Direction.WRITE),
+        app_write=stats.app.get(Direction.WRITE, 0),
+        app_read=stats.app.get(Direction.READ, 0),
+        counters=dict(stats.counters),
+        write_breakdown=stats.breakdown(Direction.WRITE),
+        read_breakdown=stats.breakdown(Direction.READ),
+    )

@@ -1,0 +1,39 @@
+"""Text-table formatting for the benchmark harness (figures as rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalize(
+    values: Mapping[str, float], baseline: str
+) -> Dict[str, float]:
+    """Normalize a {system: value} map to one system (paper-style)."""
+    base = values[baseline]
+    if base == 0:
+        return {k: float("inf") for k in values}
+    return {k: v / base for k, v in values.items()}
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+    col_width: int = 12,
+) -> str:
+    """Render an aligned text table with a title rule."""
+    lines: List[str] = []
+    lines.append("")
+    lines.append(f"=== {title} ===")
+    header = "".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:>{col_width}.2f}")
+            else:
+                cells.append(f"{str(cell):>{col_width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

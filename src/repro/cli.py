@@ -1,0 +1,117 @@
+"""Command-line interface: run workloads and regenerate figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --fs bytefs --workload varmail
+    python -m repro run --fs ext4 --workload ycsb-a
+    python -m repro compare --workload create
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, normalize
+from repro.core.bytefs import FIRMWARE_FOR
+from repro.workloads import MACRO_WORKLOADS, MICRO_WORKLOADS, YCSB
+from repro.workloads.base import Workload
+
+
+def _make_workload(name: str) -> Workload:
+    name = name.lower()
+    if name in MICRO_WORKLOADS:
+        return MICRO_WORKLOADS[name]()
+    if name in MACRO_WORKLOADS:
+        return MACRO_WORKLOADS[name]()
+    if name.startswith("ycsb-"):
+        return YCSB(name.split("-", 1)[1].upper(), n_records=600,
+                    n_ops=600, n_threads=4, value_size=400)
+    raise SystemExit(f"unknown workload {name!r}; try `repro list`")
+
+
+def _cmd_list(_args) -> int:
+    print("file systems :", ", ".join(sorted(FIRMWARE_FOR)))
+    print("micro        :", ", ".join(sorted(MICRO_WORKLOADS)))
+    print("macro        :", ", ".join(sorted(MACRO_WORKLOADS)))
+    print("ycsb         :", ", ".join(f"ycsb-{x}" for x in "abcdef"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wl = _make_workload(args.workload)
+    result = run_workload(
+        args.fs, wl,
+        log_bytes=args.log_bytes,
+        device_cache_bytes=args.device_cache_bytes,
+    )
+    rows = [
+        ("throughput (ops/s)", result.throughput),
+        ("simulated time (ms)", result.elapsed_s * 1000),
+        ("write amplification", result.write_amplification),
+        ("host writes (KB)", result.host_write / 1024),
+        ("host reads (KB)", result.host_read / 1024),
+        ("byte-interface writes (KB)", result.byte_write / 1024),
+        ("flash writes (KB)", result.flash_write / 1024),
+    ]
+    print(format_table(
+        f"{args.workload} on {args.fs}", ["metric", "value"], rows,
+        col_width=28,
+    ))
+    for op in result.latency.ops():
+        print(
+            f"  {op:<16} n={result.latency.count(op):<6} "
+            f"avg={result.latency.mean(op) / 1000:8.1f}us "
+            f"p95={result.latency.percentile(op, 95) / 1000:8.1f}us"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    systems = args.systems.split(",")
+    tput: Dict[str, float] = {}
+    for fs in systems:
+        wl = _make_workload(args.workload)
+        tput[fs] = run_workload(fs, wl).throughput
+    norm = normalize(tput, args.baseline)
+    rows = [(fs, tput[fs] / 1000, norm[fs]) for fs in systems]
+    print(format_table(
+        f"{args.workload}: throughput comparison",
+        ["fs", "kops/s", f"vs {args.baseline}"],
+        rows,
+    ))
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ByteFS (ASPLOS'25) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list file systems and workloads")
+
+    run_p = sub.add_parser("run", help="run one workload on one fs")
+    run_p.add_argument("--fs", default="bytefs", choices=sorted(FIRMWARE_FOR))
+    run_p.add_argument("--workload", default="varmail")
+    run_p.add_argument("--log-bytes", type=int, default=1 << 20)
+    run_p.add_argument("--device-cache-bytes", type=int, default=1 << 20)
+
+    cmp_p = sub.add_parser("compare", help="compare systems on a workload")
+    cmp_p.add_argument("--workload", default="create")
+    cmp_p.add_argument(
+        "--systems", default="ext4,f2fs,nova,pmfs,bytefs"
+    )
+    cmp_p.add_argument("--baseline", default="ext4")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

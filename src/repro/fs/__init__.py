@@ -1,0 +1,54 @@
+"""File systems: the common VFS plus the four baselines.
+
+* :mod:`repro.fs.vfs` — the POSIX-like API shared by every file system.
+* :mod:`repro.fs.extfs` — the Ext4-family implementation; with all feature
+  flags off it *is* the Ext4 baseline, and :mod:`repro.core` layers the
+  ByteFS flags on top (the paper built ByteFS by modifying Ext4).
+* :mod:`repro.fs.f2fs` — log-structured flash file system baseline.
+* :mod:`repro.fs.nova` — NOVA-like per-inode-log NVM file system baseline.
+* :mod:`repro.fs.pmfs` — PMFS-like in-place NVM file system baseline.
+"""
+
+from repro.fs.errors import (
+    FSError,
+    FileNotFound,
+    FileExists,
+    NotADirectory,
+    IsADirectory,
+    DirectoryNotEmpty,
+    NoSpace,
+    BadFileDescriptor,
+    InvalidArgument,
+)
+from repro.fs.vfs import (
+    BaseFileSystem,
+    O_RDONLY,
+    O_WRONLY,
+    O_RDWR,
+    O_CREAT,
+    O_TRUNC,
+    O_APPEND,
+    O_DIRECT,
+    O_EXCL,
+)
+
+__all__ = [
+    "FSError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "NoSpace",
+    "BadFileDescriptor",
+    "InvalidArgument",
+    "BaseFileSystem",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_TRUNC",
+    "O_APPEND",
+    "O_DIRECT",
+    "O_EXCL",
+]

@@ -1,0 +1,43 @@
+"""File-system exceptions (POSIX errno analogues)."""
+
+from __future__ import annotations
+
+
+class FSError(Exception):
+    """Base class for all file-system errors."""
+
+
+class FileNotFound(FSError):
+    """ENOENT."""
+
+
+class FileExists(FSError):
+    """EEXIST."""
+
+
+class NotADirectory(FSError):
+    """ENOTDIR."""
+
+
+class IsADirectory(FSError):
+    """EISDIR."""
+
+
+class DirectoryNotEmpty(FSError):
+    """ENOTEMPTY."""
+
+
+class NoSpace(FSError):
+    """ENOSPC."""
+
+
+class BadFileDescriptor(FSError):
+    """EBADF."""
+
+
+class InvalidArgument(FSError):
+    """EINVAL."""
+
+
+class ReadOnly(FSError):
+    """EROFS / write to an O_RDONLY descriptor."""

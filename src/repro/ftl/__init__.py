@@ -1,0 +1,13 @@
+"""Flash translation layer: page-level mapping, write buffering, GC.
+
+The FTL is shared by both firmware variants (baseline page-cache firmware
+and the ByteFS log-structured firmware).  It performs out-of-place page
+writes with per-channel active blocks, drains a bounded write buffer to
+flash in the background (foreground stalls only when the buffer is full),
+and garbage-collects blocks greedily by invalid-page count.
+"""
+
+from repro.ftl.mapping import PageMap
+from repro.ftl.ftl import FTL, FTLConfig
+
+__all__ = ["PageMap", "FTL", "FTLConfig"]

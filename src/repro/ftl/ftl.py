@@ -1,0 +1,292 @@
+"""The flash translation layer shared by both firmware variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ftl.mapping import PageMap
+from repro.nand.chip import FlashArray, FlashError
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import ChannelArray
+from repro.stats.traffic import Direction, StructKind, TrafficStats
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """FTL tunables (paper §4.9: 16 MB write buffer, greedy GC)."""
+
+    write_buffer_pages: int = 16          # 16 MB in the paper, scaled down
+    gc_free_block_low: int = 2            # per-channel GC trigger watermark
+    gc_reserved_blocks: int = 1           # blocks GC always keeps in reserve
+
+
+class _BlockState:
+    """Per-block bookkeeping: write pointer and valid-page count."""
+
+    __slots__ = ("block_id", "next_page", "valid")
+
+    def __init__(self, block_id: int) -> None:
+        self.block_id = block_id
+        self.next_page = 0
+        self.valid = 0
+
+
+class FTL:
+    """Out-of-place page-mapped FTL with background drain and greedy GC."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        flash: FlashArray,
+        channels: ChannelArray,
+        timing: TimingModel,
+        clock: VirtualClock,
+        stats: TrafficStats,
+        config: Optional[FTLConfig] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.flash = flash
+        self.channels = channels
+        self.timing = timing
+        self.clock = clock
+        self.stats = stats
+        self.config = config or FTLConfig()
+        self.page_map = PageMap()
+
+        # Per-channel free block lists and active (partially written) blocks.
+        self._free_blocks: List[List[int]] = [[] for _ in range(len(channels))]
+        self._active: List[Optional[_BlockState]] = [None] * len(channels)
+        self._blocks: Dict[int, _BlockState] = {}
+        self._next_channel = 0
+
+        for block_id in range(geometry.total_blocks):
+            ch = geometry.channel_of_block(block_id)
+            self._free_blocks[ch].append(block_id)
+
+        # Write-buffer occupancy: completion times of in-flight drains.
+        self._inflight: List[float] = []
+        self._in_gc = False
+
+        self.gc_runs = 0
+        self.gc_migrated_pages = 0
+
+    # ------------------------------------------------------------------ #
+    # public API (called by firmware)
+    # ------------------------------------------------------------------ #
+
+    def read_page(
+        self,
+        lpa: int,
+        kind: StructKind = StructKind.OTHER,
+        background: bool = False,
+    ) -> bytes:
+        """Read the flash page backing ``lpa`` (zeros if never written)."""
+        ppa = self.page_map.lookup(lpa)
+        self.stats.record_flash(kind, Direction.READ, self.geometry.page_size)
+        if ppa is None:
+            # Unwritten logical page: no flash op needed, data is zeros.
+            return bytes(self.geometry.page_size)
+        ch = self.geometry.channel_of(ppa)
+        end = self.channels.serve(
+            ch, self.clock.now, self.timing.flash_read_ns
+        )
+        if not background:
+            self.clock.advance_to(end)
+        return self.flash.read_page(ppa)
+
+    def read_pages(
+        self,
+        lpas: List[int],
+        kind: StructKind = StructKind.OTHER,
+        background: bool = False,
+    ) -> List[bytes]:
+        """Read several pages in parallel: all flash reads are issued from
+        the same start time and stripe across channels; the caller waits
+        only for the slowest one."""
+        start = self.clock.now
+        datas: List[bytes] = []
+        max_end = start
+        for lpa in lpas:
+            self.stats.record_flash(
+                kind, Direction.READ, self.geometry.page_size
+            )
+            ppa = self.page_map.lookup(lpa)
+            if ppa is None:
+                datas.append(bytes(self.geometry.page_size))
+                continue
+            ch = self.geometry.channel_of(ppa)
+            end = self.channels.serve(ch, start, self.timing.flash_read_ns)
+            max_end = max(max_end, end)
+            datas.append(self.flash.read_page(ppa))
+        if not background:
+            self.clock.advance_to(max_end)
+        return datas
+
+    def write_page(
+        self,
+        lpa: int,
+        data: bytes,
+        kind: StructKind = StructKind.OTHER,
+        background: bool = True,
+    ) -> None:
+        """Write one page out of place.
+
+        By default the program itself happens in the background through the
+        write buffer (the foreground stalls only if the buffer is full),
+        matching how both firmware variants hide flash program latency.
+        """
+        self._reserve_buffer_slot()
+        ppa, ch = self._allocate_ppa()
+        end = self.channels.occupy(
+            ch, self.clock.now, self.timing.flash_write_ns
+        )
+        self._inflight.append(end)
+        if not background:
+            self.clock.advance_to(end)
+        self.flash.program_page(ppa, data)
+        old = self.page_map.bind(lpa, ppa)
+        if old is not None:
+            self._invalidate_ppa(old)
+        self._blocks[self.geometry.block_id_of(ppa)].valid += 1
+        self.stats.record_flash(kind, Direction.WRITE, self.geometry.page_size)
+
+    def trim(self, lpa: int) -> None:
+        """Drop the mapping for ``lpa`` (file system freed the block)."""
+        ppa = self.page_map.unbind(lpa)
+        if ppa is not None:
+            self._invalidate_ppa(ppa)
+
+    def is_mapped(self, lpa: int) -> bool:
+        return lpa in self.page_map
+
+    def drain_write_buffer(self) -> None:
+        """Barrier: wait for every in-flight flash program to complete."""
+        if self._inflight:
+            self.clock.advance_to(max(self._inflight))
+            self._inflight.clear()
+
+    def free_page_estimate(self) -> int:
+        total = 0
+        for ch, blocks in enumerate(self._free_blocks):
+            total += len(blocks) * self.geometry.pages_per_block
+            active = self._active[ch]
+            if active is not None:
+                total += self.geometry.pages_per_block - active.next_page
+        return total
+
+    # ------------------------------------------------------------------ #
+    # allocation and GC
+    # ------------------------------------------------------------------ #
+
+    def _allocate_ppa(self) -> Tuple[int, int]:
+        """Pick the next PPA, round-robining channels for parallelism."""
+        for _ in range(len(self.channels)):
+            ch = self._next_channel
+            self._next_channel = (self._next_channel + 1) % len(self.channels)
+            ppa = self._alloc_on_channel(ch)
+            if ppa is not None:
+                return ppa, ch
+        raise FlashError("device out of space: GC could not free any block")
+
+    def _alloc_on_channel(self, ch: int) -> Optional[int]:
+        active = self._active[ch]
+        if active is None or active.next_page >= self.geometry.pages_per_block:
+            if (
+                not self._in_gc
+                and len(self._free_blocks[ch]) <= self.config.gc_free_block_low
+            ):
+                self._garbage_collect(ch)
+            if not self._free_blocks[ch]:
+                return None
+            block_id = self._free_blocks[ch].pop(0)
+            active = _BlockState(block_id)
+            self._active[ch] = active
+            self._blocks[block_id] = active
+        base = self.geometry.block_base_ppa(active.block_id)
+        ppa = base + active.next_page
+        active.next_page += 1
+        return ppa
+
+    def _invalidate_ppa(self, ppa: int) -> None:
+        block_id = self.geometry.block_id_of(ppa)
+        state = self._blocks.get(block_id)
+        if state is not None and state.valid > 0:
+            state.valid -= 1
+
+    def _garbage_collect(self, ch: int) -> None:
+        """Greedy GC on one channel: victim = fewest valid pages."""
+        victim = self._pick_victim(ch)
+        if victim is None:
+            return
+        self._in_gc = True
+        try:
+            self._collect_block(ch, victim)
+        finally:
+            self._in_gc = False
+
+    def _collect_block(self, ch: int, victim: "_BlockState") -> None:
+        self.gc_runs += 1
+        base = self.geometry.block_base_ppa(victim.block_id)
+        # Migrate still-valid pages (background reads + writes).
+        for ppa in range(base, base + self.geometry.pages_per_block):
+            lpa = self.page_map.reverse(ppa)
+            if lpa is None:
+                continue
+            self.channels.occupy(ch, self.clock.now, self.timing.flash_read_ns)
+            data = self.flash.read_page(ppa)
+            self.stats.record_flash(
+                StructKind.OTHER, Direction.READ, self.geometry.page_size
+            )
+            self.stats.bump("gc_page_migrations")
+            self.gc_migrated_pages += 1
+            # Re-write through normal allocation on any channel but the
+            # victim's being-erased block.
+            new_ppa, new_ch = self._allocate_ppa()
+            self.channels.occupy(
+                new_ch, self.clock.now, self.timing.flash_write_ns
+            )
+            self.flash.program_page(new_ppa, data)
+            self.page_map.bind(lpa, new_ppa)
+            self._blocks[self.geometry.block_id_of(new_ppa)].valid += 1
+            self.stats.record_flash(
+                StructKind.OTHER, Direction.WRITE, self.geometry.page_size
+            )
+        self.channels.occupy(ch, self.clock.now, self.timing.flash_erase_ns)
+        self.flash.erase_block(victim.block_id)
+        self._blocks.pop(victim.block_id, None)
+        self._free_blocks[ch].append(victim.block_id)
+        self.stats.bump("gc_runs")
+
+    def _pick_victim(self, ch: int) -> Optional[_BlockState]:
+        best: Optional[_BlockState] = None
+        for block_id, state in self._blocks.items():
+            if self.geometry.channel_of_block(block_id) != ch:
+                continue
+            if self._active[ch] is state:
+                continue  # never collect the open block
+            if state.next_page == 0:
+                continue
+            if best is None or state.valid < best.valid:
+                best = state
+        return best
+
+    # ------------------------------------------------------------------ #
+    # write buffer
+    # ------------------------------------------------------------------ #
+
+    def _reserve_buffer_slot(self) -> None:
+        """Stall the foreground thread if the write buffer is full."""
+        if len(self._inflight) < self.config.write_buffer_pages:
+            return
+        # Drop entries that have already drained at this thread's time.
+        now = self.clock.now
+        self._inflight = [t for t in self._inflight if t > now]
+        while len(self._inflight) >= self.config.write_buffer_pages:
+            earliest = min(self._inflight)
+            self.clock.advance_to(earliest)
+            self.stats.bump("write_buffer_stalls")
+            now = self.clock.now
+            self._inflight = [t for t in self._inflight if t > now]

@@ -1,0 +1,45 @@
+"""Page-level logical-to-physical mapping with a reverse map for GC."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class PageMap:
+    """LPA -> PPA map plus the PPA -> LPA reverse map GC needs."""
+
+    def __init__(self) -> None:
+        self._l2p: Dict[int, int] = {}
+        self._p2l: Dict[int, int] = {}
+
+    def lookup(self, lpa: int) -> Optional[int]:
+        return self._l2p.get(lpa)
+
+    def reverse(self, ppa: int) -> Optional[int]:
+        return self._p2l.get(ppa)
+
+    def bind(self, lpa: int, ppa: int) -> Optional[int]:
+        """Map ``lpa`` to ``ppa``; return the PPA it previously mapped to
+        (now invalid), or None."""
+        old = self._l2p.get(lpa)
+        if old is not None:
+            self._p2l.pop(old, None)
+        self._l2p[lpa] = ppa
+        self._p2l[ppa] = lpa
+        return old
+
+    def unbind(self, lpa: int) -> Optional[int]:
+        """Drop the mapping for ``lpa`` (trim); return the freed PPA."""
+        ppa = self._l2p.pop(lpa, None)
+        if ppa is not None:
+            self._p2l.pop(ppa, None)
+        return ppa
+
+    def mapped_lpas(self):
+        return self._l2p.keys()
+
+    def __len__(self) -> int:
+        return len(self._l2p)
+
+    def __contains__(self, lpa: int) -> bool:
+        return lpa in self._l2p

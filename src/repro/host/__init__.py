@@ -1,0 +1,5 @@
+"""Host-side memory: the page cache with copy-on-write diff tracking."""
+
+from repro.host.page_cache import AddressSpace, CachedPage, PageCache
+
+__all__ = ["AddressSpace", "CachedPage", "PageCache"]

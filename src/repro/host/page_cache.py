@@ -1,0 +1,223 @@
+"""The host page cache with copy-on-write modified-ratio tracking (§4.6).
+
+ByteFS tracks writes to cached pages by duplicating the original page on
+first modification (CoW).  At writeback time it XORs the duplicate against
+the current page to find dirty 64 B chunks and computes the modified ratio
+``R``; pages with ``R < 1/8`` are persisted through the byte interface,
+others through the block interface.  The duplicate pages are tracked in an
+XArray-like per-inode index (``address_space``) just like normal cached
+pages.
+
+Ext4/F2FS use the same cache without CoW (they always write back whole
+pages over the block interface).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+CACHELINE = 64
+
+
+class CachedPage:
+    """One cached file page, with an optional CoW duplicate."""
+
+    __slots__ = ("data", "dirty", "original")
+
+    def __init__(self, data: bytes, page_size: int) -> None:
+        if len(data) < page_size:
+            data = data + bytes(page_size - len(data))
+        self.data = bytearray(data)
+        self.dirty = False
+        self.original: Optional[bytes] = None  # CoW duplicate page
+
+    def mark_dirty(self, cow: bool) -> None:
+        if cow and self.original is None:
+            # First modification: duplicate the pristine page (§4.6).
+            self.original = bytes(self.data)
+        self.dirty = True
+
+    def dirty_chunks(self) -> List[Tuple[int, int]]:
+        """(offset, length) runs of modified 64 B cachelines, via XOR diff.
+
+        Without a CoW duplicate the whole page is considered modified.
+        """
+        if self.original is None:
+            return [(0, len(self.data))]
+        runs: List[Tuple[int, int]] = []
+        run_start = -1
+        for off in range(0, len(self.data), CACHELINE):
+            chunk_dirty = (
+                self.data[off : off + CACHELINE]
+                != self.original[off : off + CACHELINE]
+            )
+            if chunk_dirty and run_start < 0:
+                run_start = off
+            elif not chunk_dirty and run_start >= 0:
+                runs.append((run_start, off - run_start))
+                run_start = -1
+        if run_start >= 0:
+            runs.append((run_start, len(self.data) - run_start))
+        return runs
+
+    def modified_ratio(self) -> float:
+        """R = modified cachelines / total cachelines (§4.6)."""
+        total = len(self.data) // CACHELINE
+        dirty_lines = sum(
+            -(-length // CACHELINE) for _off, length in self.dirty_chunks()
+        )
+        return dirty_lines / total
+
+    def clean(self) -> None:
+        self.dirty = False
+        self.original = None
+
+
+class AddressSpace:
+    """Per-inode page index (the kernel's ``struct address_space``)."""
+
+    def __init__(self, ino: int, page_size: int) -> None:
+        self.ino = ino
+        self.page_size = page_size
+        self.pages: Dict[int, CachedPage] = {}
+
+    def get(self, index: int) -> Optional[CachedPage]:
+        return self.pages.get(index)
+
+    def install(self, index: int, data: bytes) -> CachedPage:
+        page = CachedPage(data, self.page_size)
+        self.pages[index] = page
+        return page
+
+    def drop(self, index: int) -> None:
+        self.pages.pop(index, None)
+
+    def dirty_pages(self) -> Iterator[Tuple[int, CachedPage]]:
+        for index in sorted(self.pages):
+            page = self.pages[index]
+            if page.dirty:
+                yield index, page
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+#: writeback callback: (ino, page_index, page) -> None.  Must leave the
+#: page clean.
+WritebackFn = Callable[[int, int, CachedPage], None]
+
+
+class PageCache:
+    """Global page cache across inodes, with LRU eviction.
+
+    Eviction prefers clean pages; a dirty victim is written back through
+    the owning file system's callback first.
+    """
+
+    def __init__(self, capacity_pages: int, page_size: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self._spaces: Dict[int, AddressSpace] = {}
+        self._lru: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.cow_copies = 0
+
+    # ------------------------------------------------------------------ #
+
+    def space(self, ino: int) -> AddressSpace:
+        space = self._spaces.get(ino)
+        if space is None:
+            space = AddressSpace(ino, self.page_size)
+            self._spaces[ino] = space
+        return space
+
+    def lookup(self, ino: int, index: int) -> Optional[CachedPage]:
+        page = self.space(ino).get(index)
+        if page is not None:
+            self.hits += 1
+            self._lru.move_to_end((ino, index))
+        else:
+            self.misses += 1
+        return page
+
+    def install(
+        self, ino: int, index: int, data: bytes, writeback: WritebackFn
+    ) -> CachedPage:
+        self._make_room(writeback)
+        page = self.space(ino).install(index, data)
+        self._lru[(ino, index)] = None
+        return page
+
+    def mark_dirty(self, ino: int, index: int, cow: bool) -> None:
+        page = self.space(ino).get(index)
+        if page is None:
+            raise KeyError(f"page ({ino}, {index}) not cached")
+        had_dup = page.original is not None
+        page.mark_dirty(cow)
+        if cow and not had_dup and page.original is not None:
+            self.cow_copies += 1
+
+    def _make_room(self, writeback: WritebackFn) -> None:
+        while len(self._lru) >= self.capacity_pages:
+            victim_key = None
+            # Prefer the least-recently-used *clean* page.
+            for key in self._lru:
+                ino, index = key
+                page = self._spaces[ino].get(index)
+                if page is None or not page.dirty:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                victim_key = next(iter(self._lru))
+            ino, index = victim_key
+            page = self._spaces[ino].get(index)
+            if page is not None and page.dirty:
+                writeback(ino, index, page)
+            self._spaces[ino].drop(index)
+            del self._lru[victim_key]
+
+    # ------------------------------------------------------------------ #
+
+    def dirty_pages(self, ino: int) -> List[Tuple[int, CachedPage]]:
+        space = self._spaces.get(ino)
+        if space is None:
+            return []
+        return list(space.dirty_pages())
+
+    def all_dirty(self) -> List[Tuple[int, int, CachedPage]]:
+        out = []
+        for ino, space in self._spaces.items():
+            for index, page in space.dirty_pages():
+                out.append((ino, index, page))
+        return out
+
+    def drop_inode(self, ino: int) -> None:
+        space = self._spaces.pop(ino, None)
+        if space is not None:
+            for index in space.pages:
+                self._lru.pop((ino, index), None)
+
+    def drop_all(self) -> None:
+        """Crash: volatile host memory is lost."""
+        self._spaces.clear()
+        self._lru.clear()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._lru)
+
+    def duplicate_pages(self) -> int:
+        """Pages currently holding a CoW duplicate (paper: ~16 % of the
+        cache on average)."""
+        return sum(
+            1
+            for space in self._spaces.values()
+            for page in space.pages.values()
+            if page.original is not None
+        )

@@ -1,0 +1,98 @@
+"""The host<->device link: charges simulated time for every transfer."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nand.timing import TimingModel
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import Pipeline, Resource
+
+CACHELINE = 64
+
+
+class HostLink:
+    """Times MMIO and DMA transfers against a shared link resource.
+
+    One :class:`HostLink` is shared by every simulated thread; the link
+    resource and the posted-write pipeline create the contention between
+    them.
+    """
+
+    def __init__(self, clock: VirtualClock, timing: TimingModel) -> None:
+        self.clock = clock
+        self.timing = timing
+        self._dma = Resource("pcie-dma")
+        self._posted = Pipeline("pcie-posted", timing.mmio_write_pipeline)
+        # Loads are non-posted but the CPU keeps several outstanding
+        # (memory-level parallelism), so bulk reads overlap.
+        self._nonposted = Pipeline(
+            "pcie-nonposted", timing.mmio_read_parallelism
+        )
+        self._barrier = Resource("pcie-barrier")
+        self.mmio_reads = 0
+        self.mmio_writes = 0
+        self.dma_transfers = 0
+
+    # ------------------------------------------------------------------ #
+    # byte interface
+    # ------------------------------------------------------------------ #
+
+    def mmio_read(self, nbytes: int) -> None:
+        """Load ``nbytes`` via MMIO: each cacheline pays the full round
+        trip, with up to ``mmio_read_parallelism`` loads in flight."""
+        lines = max(1, math.ceil(nbytes / CACHELINE))
+        end = self.clock.now
+        for _ in range(lines):
+            end = max(
+                end,
+                self._nonposted.serve(self.clock.now, self.timing.mmio_read_ns),
+            )
+        self.mmio_reads += lines
+        self.clock.advance_to(end)
+
+    def mmio_write(self, nbytes: int) -> None:
+        """Store ``nbytes`` via MMIO.  Posted: writes pipeline."""
+        lines = max(1, math.ceil(nbytes / CACHELINE))
+        end = self.clock.now
+        for _ in range(lines):
+            end = self._posted.serve(self.clock.now, self.timing.mmio_write_ns)
+        self.mmio_writes += lines
+        self.clock.advance_to(end)
+
+    def persist_barrier(self, nlines: int = 1) -> None:
+        """clflush/clwb the written lines, then a write-verify read (§4.2).
+
+        The zero-byte non-posted read serializes behind all outstanding
+        posted writes in the root complex, guaranteeing durability.
+        """
+        self.clock.advance(self.timing.persist_flush_ns * max(1, nlines))
+        end = self._barrier.serve(self.clock.now, self.timing.mmio_read_ns)
+        self.clock.advance_to(end)
+
+    def mmio_persist_write(self, nbytes: int) -> None:
+        """Convenience: posted write + flush + write-verify read."""
+        self.mmio_write(nbytes)
+        self.persist_barrier(max(1, math.ceil(nbytes / CACHELINE)))
+
+    # ------------------------------------------------------------------ #
+    # block interface
+    # ------------------------------------------------------------------ #
+
+    def dma(self, nbytes: int, write: bool) -> None:
+        """An NVMe data transfer: command overhead plus bytes/bandwidth."""
+        duration = self.timing.nvme_cmd_ns + self.timing.dma_transfer_ns(
+            nbytes, write
+        )
+        end = self._dma.serve(self.clock.now, duration)
+        self.dma_transfers += 1
+        self.clock.advance_to(end)
+
+    def reset(self) -> None:
+        self._dma.reset()
+        self._posted.reset()
+        self._nonposted.reset()
+        self._barrier.reset()
+        self.mmio_reads = 0
+        self.mmio_writes = 0
+        self.dma_transfers = 0

@@ -1,0 +1,22 @@
+"""An LSM-tree key-value store (the RocksDB stand-in for YCSB, §5.2).
+
+The store runs on any of the simulated file systems and produces the
+file-system workload that matters for ByteFS: WAL appends with per-batch
+fsync, bulk SSTable writes at flush/compaction, and random SSTable reads
+served through the host page cache (or the byte interface for the DAX
+file systems).
+"""
+
+from repro.kv.bloom import BloomFilter
+from repro.kv.memtable import Memtable
+from repro.kv.sstable import SSTableReader, SSTableWriter
+from repro.kv.db import KVStore, KVConfig
+
+__all__ = [
+    "BloomFilter",
+    "Memtable",
+    "SSTableReader",
+    "SSTableWriter",
+    "KVStore",
+    "KVConfig",
+]

@@ -1,0 +1,60 @@
+"""A classic Bloom filter over byte-string keys."""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Optional
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter with double hashing."""
+
+    def __init__(self, n_items: int, fp_rate: float = 0.01) -> None:
+        if n_items < 1:
+            n_items = 1
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0, 1)")
+        self.n_bits = max(
+            8, int(-n_items * math.log(fp_rate) / (math.log(2) ** 2))
+        )
+        self.n_hashes = max(1, round(self.n_bits / n_items * math.log(2)))
+        self._bits = bytearray(-(-self.n_bits // 8))
+
+    def _hashes(self, key: bytes):
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        for i in range(self.n_hashes):
+            yield (h1 + i * h2) % self.n_bits
+
+    def add(self, key: bytes) -> None:
+        for bit in self._hashes(key):
+            self._bits[bit // 8] |= 1 << (bit % 8)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[bit // 8] & (1 << (bit % 8)) for bit in self._hashes(key)
+        )
+
+    def to_bytes(self) -> bytes:
+        header = self.n_bits.to_bytes(8, "little") + self.n_hashes.to_bytes(
+            2, "little"
+        )
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        bloom = cls.__new__(cls)
+        bloom.n_bits = int.from_bytes(data[:8], "little")
+        bloom.n_hashes = int.from_bytes(data[8:10], "little")
+        bloom._bits = bytearray(data[10 : 10 + -(-bloom.n_bits // 8)])
+        return bloom
+
+    @classmethod
+    def build(cls, keys: Iterable[bytes], fp_rate: float = 0.01) -> "BloomFilter":
+        keys = list(keys)
+        bloom = cls(len(keys), fp_rate)
+        for key in keys:
+            bloom.add(key)
+        return bloom

@@ -1,0 +1,52 @@
+"""The in-memory write buffer of the LSM tree."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: sentinel marking a deletion
+TOMBSTONE = None
+
+
+class Memtable:
+    """A mutable sorted map; values of ``None`` are tombstones."""
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, Optional[bytes]] = {}
+        self._bytes = 0
+
+    def put(self, key: bytes, value: Optional[bytes]) -> None:
+        old = self._data.get(key)
+        if old is not None:
+            self._bytes -= len(old)
+        elif key in self._data:
+            pass
+        else:
+            self._bytes += len(key)
+        self._data[key] = value
+        if value is not None:
+            self._bytes += len(value)
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Returns (found, value); value None with found=True = tombstone."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def approximate_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def sorted_items(self) -> List[Tuple[bytes, Optional[bytes]]]:
+        return sorted(self._data.items())
+
+    def range_items(
+        self, start: bytes, count: int
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        for key in sorted(k for k in self._data if k >= start)[:count]:
+            yield key, self._data[key]

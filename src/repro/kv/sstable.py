@@ -1,0 +1,196 @@
+"""Sorted string tables: the on-disk run format of the LSM tree.
+
+File layout::
+
+    [records]  klen(2) flag(1) vlen(4) key value, sorted by key
+    [index]    sparse index: every Nth record's (key, file offset)
+    [bloom]    serialized Bloom filter over all keys
+    [footer]   index_off(8) index_len(8) bloom_off(8) bloom_len(8)
+               n_records(8) min_klen(2)... magic(4)
+
+``flag`` = 1 marks a tombstone (value absent).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.fs.vfs import BaseFileSystem, O_CREAT, O_RDONLY, O_RDWR
+from repro.kv.bloom import BloomFilter
+
+_MAGIC = 0x557AB1E5
+_FOOTER_FMT = "<QQQQQI"
+_FOOTER_LEN = struct.calcsize(_FOOTER_FMT)
+_REC_HDR = "<HBI"
+_REC_HDR_LEN = struct.calcsize(_REC_HDR)
+INDEX_EVERY = 16
+
+
+def _encode_record(key: bytes, value: Optional[bytes]) -> bytes:
+    flag = 1 if value is None else 0
+    body = value or b""
+    return struct.pack(_REC_HDR, len(key), flag, len(body)) + key + body
+
+
+class SSTableWriter:
+    """Writes one SSTable through the file-system API."""
+
+    @staticmethod
+    def write(
+        fs: BaseFileSystem,
+        path: str,
+        items: List[Tuple[bytes, Optional[bytes]]],
+    ) -> None:
+        if not items:
+            raise ValueError("refusing to write an empty SSTable")
+        fd = fs.open(path, O_CREAT | O_RDWR)
+        try:
+            buf = bytearray()
+            index: List[Tuple[bytes, int]] = []
+            for i, (key, value) in enumerate(items):
+                if i % INDEX_EVERY == 0:
+                    index.append((key, len(buf)))
+                buf += _encode_record(key, value)
+            index_off = len(buf)
+            for key, off in index:
+                buf += struct.pack("<HQ", len(key), off) + key
+            index_len = len(buf) - index_off
+            bloom = BloomFilter.build([k for k, _v in items])
+            bloom_bytes = bloom.to_bytes()
+            bloom_off = len(buf)
+            buf += bloom_bytes
+            buf += struct.pack(
+                _FOOTER_FMT,
+                index_off,
+                index_len,
+                bloom_off,
+                len(bloom_bytes),
+                len(items),
+                _MAGIC,
+            )
+            fs.write(fd, bytes(buf))
+            fs.fsync(fd)
+        finally:
+            fs.close(fd)
+
+
+class SSTableReader:
+    """Reads one SSTable; caches the sparse index and Bloom filter in
+    memory (like RocksDB's table cache) while record reads go through the
+    file system (and thus the host page cache, when there is one)."""
+
+    def __init__(self, fs: BaseFileSystem, path: str) -> None:
+        self.fs = fs
+        self.path = path
+        fd = fs.open(path, O_RDONLY)
+        try:
+            size = fs.stat(path).size
+            footer = fs.pread(fd, size - _FOOTER_LEN, _FOOTER_LEN)
+            (
+                index_off,
+                index_len,
+                bloom_off,
+                bloom_len,
+                self.n_records,
+                magic,
+            ) = struct.unpack(_FOOTER_FMT, footer)
+            if magic != _MAGIC:
+                raise ValueError(f"{path}: bad SSTable magic")
+            raw_index = fs.pread(fd, index_off, index_len)
+            self.index: List[Tuple[bytes, int]] = []
+            off = 0
+            while off < len(raw_index):
+                klen, rec_off = struct.unpack_from("<HQ", raw_index, off)
+                off += 10
+                self.index.append((raw_index[off : off + klen], rec_off))
+                off += klen
+            self.bloom = BloomFilter.from_bytes(
+                fs.pread(fd, bloom_off, bloom_len)
+            )
+            self.data_len = index_off
+            self.min_key = self.index[0][0] if self.index else b""
+            self.max_key = self._find_max_key(fd)
+        finally:
+            fs.close(fd)
+
+    def _find_max_key(self, fd: int) -> bytes:
+        # Scan the last index stripe for the largest key.
+        last = b""
+        start = self.index[-1][1] if self.index else 0
+        for key, _value in self._scan_from(fd, start):
+            last = key
+        return last
+
+    def _scan_from(
+        self, fd: int, offset: int
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        off = offset
+        while off < self.data_len:
+            hdr = self.fs.pread(fd, off, _REC_HDR_LEN)
+            if len(hdr) < _REC_HDR_LEN:
+                break
+            klen, flag, vlen = struct.unpack(_REC_HDR, hdr)
+            body = self.fs.pread(fd, off + _REC_HDR_LEN, klen + vlen)
+            key = body[:klen]
+            value = None if flag else body[klen : klen + vlen]
+            yield key, value
+            off += _REC_HDR_LEN + klen + vlen
+
+    def may_contain(self, key: bytes) -> bool:
+        return (
+            self.min_key <= key <= self.max_key and key in self.bloom
+        )
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Returns (found, value); (True, None) is a tombstone."""
+        if not self.may_contain(key):
+            return False, None
+        # Binary search the sparse index for the stripe containing key.
+        lo, hi = 0, len(self.index) - 1
+        pos = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.index[mid][0] <= key:
+                pos = self.index[mid][1]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        fd = self.fs.open(self.path, O_RDONLY)
+        try:
+            for rec_key, value in self._scan_from(fd, pos):
+                if rec_key == key:
+                    return True, value
+                if rec_key > key:
+                    break
+        finally:
+            self.fs.close(fd)
+        return False, None
+
+    def items(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        fd = self.fs.open(self.path, O_RDONLY)
+        try:
+            yield from self._scan_from(fd, 0)
+        finally:
+            self.fs.close(fd)
+
+    def iter_from(
+        self, start: bytes
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """All records (including tombstones) with key >= start, in order."""
+        lo, hi = 0, len(self.index) - 1
+        pos = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.index[mid][0] <= start:
+                pos = self.index[mid][1]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        fd = self.fs.open(self.path, O_RDONLY)
+        try:
+            for key, value in self._scan_from(fd, pos):
+                if key >= start:
+                    yield key, value
+        finally:
+            self.fs.close(fd)

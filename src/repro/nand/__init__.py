@@ -1,0 +1,13 @@
+"""NAND flash substrate: geometry, timing model, and the chip array.
+
+The chip array stores real bytes so file systems built on top can be
+verified end-to-end (write -> crash -> recover -> read back).  It also
+enforces NAND physics: pages program once between erases, erases operate
+on whole blocks.
+"""
+
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel
+from repro.nand.chip import FlashArray, FlashError
+
+__all__ = ["FlashGeometry", "TimingModel", "FlashArray", "FlashError"]

@@ -1,0 +1,84 @@
+"""The flash chip array: stores real bytes and enforces NAND physics.
+
+* Pages must be erased before they can be programmed again.
+* Erase operates on whole blocks and bumps a wear counter.
+* Reads of never-programmed pages return zeros (like a fresh drive).
+
+Timing is *not* charged here; the FTL charges channel time through the
+shared :class:`~repro.sim.resources.ChannelArray` so that background work
+(GC, log cleaning) and foreground I/O contend realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.nand.geometry import FlashGeometry
+
+
+class FlashError(Exception):
+    """Violation of NAND programming rules (program-before-erase, etc.)."""
+
+
+class FlashArray:
+    """Backing store for the simulated device.
+
+    Data is kept sparsely: only programmed pages occupy memory, so a
+    "32 GB" device costs only what the workload touches.
+    """
+
+    def __init__(self, geometry: FlashGeometry) -> None:
+        self.geometry = geometry
+        self._pages: Dict[int, bytes] = {}
+        self._programmed: set = set()
+        self.erase_counts: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.erases = 0
+
+    def read_page(self, ppa: int) -> bytes:
+        """Read one full page; unprogrammed pages read as zeros."""
+        self._check_ppa(ppa)
+        self.reads += 1
+        data = self._pages.get(ppa)
+        if data is None:
+            return bytes(self.geometry.page_size)
+        return data
+
+    def program_page(self, ppa: int, data: bytes) -> None:
+        """Program one page; re-programming without erase is an error."""
+        self._check_ppa(ppa)
+        if ppa in self._programmed:
+            raise FlashError(
+                f"page {ppa} already programmed; erase block first"
+            )
+        if len(data) > self.geometry.page_size:
+            raise FlashError(
+                f"data ({len(data)} B) exceeds page size "
+                f"({self.geometry.page_size} B)"
+            )
+        if len(data) < self.geometry.page_size:
+            data = data + bytes(self.geometry.page_size - len(data))
+        self._pages[ppa] = bytes(data)
+        self._programmed.add(ppa)
+        self.writes += 1
+
+    def erase_block(self, block_id: int) -> None:
+        """Erase every page in a block."""
+        base = self.geometry.block_base_ppa(block_id)
+        for ppa in range(base, base + self.geometry.pages_per_block):
+            self._pages.pop(ppa, None)
+            self._programmed.discard(ppa)
+        self.erase_counts[block_id] = self.erase_counts.get(block_id, 0) + 1
+        self.erases += 1
+
+    def is_programmed(self, ppa: int) -> bool:
+        self._check_ppa(ppa)
+        return ppa in self._programmed
+
+    def wear(self, block_id: int) -> int:
+        return self.erase_counts.get(block_id, 0)
+
+    def _check_ppa(self, ppa: int) -> None:
+        if not 0 <= ppa < self.geometry.total_pages:
+            raise FlashError(f"ppa {ppa} out of range")

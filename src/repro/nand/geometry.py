@@ -1,0 +1,110 @@
+"""Flash geometry: channels x ways x blocks x pages.
+
+Physical page addresses (PPAs) are dense integers laid out so that
+consecutive PPAs within a block stay on one (channel, way, block) and the
+FTL chooses channels explicitly for parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Dimensions of the flash array (defaults follow the paper's emulator,
+
+    scaled down: the paper emulates 32 GB / 8 channels; tests use smaller
+    arrays with identical structure).
+    """
+
+    n_channels: int = 8
+    ways_per_channel: int = 1
+    blocks_per_way: int = 64
+    pages_per_block: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for field in (
+            "n_channels",
+            "ways_per_channel",
+            "blocks_per_way",
+            "pages_per_block",
+            "page_size",
+        ):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+
+    @property
+    def pages_per_way(self) -> int:
+        return self.blocks_per_way * self.pages_per_block
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.ways_per_channel * self.pages_per_way
+
+    @property
+    def total_pages(self) -> int:
+        return self.n_channels * self.pages_per_channel
+
+    @property
+    def total_blocks(self) -> int:
+        return self.n_channels * self.ways_per_channel * self.blocks_per_way
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    @property
+    def block_size(self) -> int:
+        return self.pages_per_block * self.page_size
+
+    # ------------------------------------------------------------------ #
+    # address arithmetic
+    # ------------------------------------------------------------------ #
+
+    def ppa(self, channel: int, way: int, block: int, page: int) -> int:
+        """Pack a (channel, way, block, page) tuple into a dense PPA."""
+        self._check(channel, way, block, page)
+        return (
+            ((channel * self.ways_per_channel + way) * self.blocks_per_way + block)
+            * self.pages_per_block
+            + page
+        )
+
+    def unpack(self, ppa: int) -> tuple:
+        """Unpack a PPA into (channel, way, block, page)."""
+        if not 0 <= ppa < self.total_pages:
+            raise ValueError(f"ppa {ppa} out of range")
+        page = ppa % self.pages_per_block
+        rest = ppa // self.pages_per_block
+        block = rest % self.blocks_per_way
+        rest //= self.blocks_per_way
+        way = rest % self.ways_per_channel
+        channel = rest // self.ways_per_channel
+        return channel, way, block, page
+
+    def channel_of(self, ppa: int) -> int:
+        return self.unpack(ppa)[0]
+
+    def block_id_of(self, ppa: int) -> int:
+        """Global block id (0 .. total_blocks-1) containing this PPA."""
+        return ppa // self.pages_per_block
+
+    def block_base_ppa(self, block_id: int) -> int:
+        if not 0 <= block_id < self.total_blocks:
+            raise ValueError(f"block id {block_id} out of range")
+        return block_id * self.pages_per_block
+
+    def channel_of_block(self, block_id: int) -> int:
+        return self.block_base_ppa(block_id) // self.pages_per_channel
+
+    def _check(self, channel: int, way: int, block: int, page: int) -> None:
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        if not 0 <= way < self.ways_per_channel:
+            raise ValueError(f"way {way} out of range")
+        if not 0 <= block < self.blocks_per_way:
+            raise ValueError(f"block {block} out of range")
+        if not 0 <= page < self.pages_per_block:
+            raise ValueError(f"page {page} out of range")

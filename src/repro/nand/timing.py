@@ -1,0 +1,99 @@
+"""Device timing model (paper Tables 1 and 4, and the Fig-13 latency grid).
+
+Defaults match the paper's emulator configuration:
+
+* flash page read / write latency: 40 / 60 us
+* PCIe MMIO cacheline read / write latency: 4.8 / 0.6 us
+* NVMe block bandwidth: 3.5 / 2.5 GB/s read / write
+* CXL cacheline latency: 175 ns (Fig 13's "3/80*" configuration)
+
+The artifact exposes the same knobs as the paper's ``timing_model.h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.clock import USEC, NSEC
+
+GIB = float(1 << 30)
+
+
+def _bw_ns_per_byte(gb_per_s: float) -> float:
+    """Convert GB/s to ns/byte."""
+    return 1e9 / (gb_per_s * 1e9)
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """All latency/bandwidth parameters of the simulated M-SSD stack."""
+
+    # NAND flash (per page / per block)
+    flash_read_ns: float = 40 * USEC
+    flash_write_ns: float = 60 * USEC
+    flash_erase_ns: float = 2000 * USEC
+
+    # byte interface: one cacheline over PCIe MMIO
+    mmio_read_ns: float = 4.8 * USEC     # non-posted round trip
+    mmio_read_parallelism: int = 8       # outstanding loads (CPU MLP)
+    mmio_write_ns: float = 0.6 * USEC    # posted, pipelines on the link
+    mmio_write_pipeline: int = 8         # concurrent posted writes in flight
+    persist_flush_ns: float = 100 * NSEC  # clflush/clwb of one line
+
+    # block interface: NVMe DMA
+    nvme_cmd_ns: float = 3 * USEC        # submission/completion overhead
+    link_read_gbps: float = 3.5          # GB/s, device -> host
+    link_write_gbps: float = 2.5         # GB/s, host -> device
+
+    # firmware embedded core
+    fw_op_ns: float = 89.0               # log-index lookup (paper: 89 ns)
+    fw_append_ns: float = 60.0           # log append bookkeeping
+
+    # host CPU costs
+    syscall_ns: float = 1.2 * USEC
+    host_memcpy_gbps: float = 14.0       # paper: AVX2 XOR at 14 GB/s
+    xor_page_ns: float = 936 / 2.7       # 936 cycles at 2.7 GHz, per 4KB page
+    host_cache_hit_ns: float = 250.0
+
+    # device DRAM
+    dram_access_ns: float = 100.0
+
+    def dma_transfer_ns(self, nbytes: int, write: bool) -> float:
+        gbps = self.link_write_gbps if write else self.link_read_gbps
+        return nbytes * _bw_ns_per_byte(gbps)
+
+    def host_memcpy_ns(self, nbytes: int) -> float:
+        return nbytes * _bw_ns_per_byte(self.host_memcpy_gbps)
+
+    def with_flash_latency(
+        self, read_us: float, write_us: float
+    ) -> "TimingModel":
+        """A copy with different NAND latencies (Fig-13 sweeps)."""
+        return replace(
+            self,
+            flash_read_ns=read_us * USEC,
+            flash_write_ns=write_us * USEC,
+        )
+
+    def as_cxl(self, cacheline_ns: float = 175.0) -> "TimingModel":
+        """A copy modelling CXL.mem: symmetric cacheline loads/stores."""
+        return replace(
+            self,
+            mmio_read_ns=cacheline_ns,
+            mmio_write_ns=cacheline_ns,
+            persist_flush_ns=50.0,
+        )
+
+
+#: The paper's emulator defaults (Table 4).
+DEFAULT_TIMING = TimingModel()
+
+#: Fig-13 grid of (read_us, write_us) NAND latencies, low-end to high-end,
+#: plus the CXL point "3/80*".
+FIG13_FLASH_LATENCIES = [
+    (3, 80),
+    (25, 300),
+    (40, 60),
+    (60, 150),
+    (95, 208),
+]

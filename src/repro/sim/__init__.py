@@ -1,0 +1,15 @@
+"""Simulation substrate: virtual time, shared resources, deterministic RNG.
+
+The whole reproduction is a discrete-cost simulation.  Every component
+(interconnect, flash channels, firmware) charges time against a
+:class:`~repro.sim.clock.VirtualClock` that maintains one timeline per
+simulated application thread, and against shared :class:`~repro.sim.resources.Resource`
+timelines that model device-side contention (flash channels, the PCIe/CXL
+link, the embedded firmware core).
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import Resource, ChannelArray
+from repro.sim.rng import make_rng
+
+__all__ = ["VirtualClock", "Resource", "ChannelArray", "make_rng"]

@@ -1,0 +1,111 @@
+"""Virtual time with one timeline per simulated application thread.
+
+The workload runner interleaves operations from N logical threads.  Before
+issuing an operation it calls :meth:`VirtualClock.switch` to select the
+thread's timeline; every component below it then charges time through
+:meth:`advance` / :meth:`advance_to`.  Shared device resources serialize
+concurrent threads through :class:`~repro.sim.resources.Resource` objects,
+which is where contention (and therefore parallel speedup or slowdown)
+comes from.
+
+All times are nanoseconds, held as floats.
+"""
+
+from __future__ import annotations
+
+NSEC = 1.0
+USEC = 1_000.0
+MSEC = 1_000_000.0
+SEC = 1_000_000_000.0
+
+
+class VirtualClock:
+    """A set of per-thread virtual timelines sharing one epoch.
+
+    ``now`` refers to the currently selected thread's time.  ``elapsed``
+    is the wall-clock span of the whole simulation: the maximum thread
+    time reached so far.
+    """
+
+    def __init__(self, n_threads: int = 1) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self._times = [0.0] * n_threads
+        self._cur = 0
+        self._max_seen = 0.0
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._times)
+
+    @property
+    def current_thread(self) -> int:
+        return self._cur
+
+    @property
+    def now(self) -> float:
+        """Current time (ns) of the selected thread."""
+        return self._times[self._cur]
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall-clock span: the furthest any thread has progressed."""
+        return max(self._max_seen, max(self._times))
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / SEC
+
+    def switch(self, tid: int) -> None:
+        """Select thread ``tid``'s timeline for subsequent charges."""
+        if not 0 <= tid < len(self._times):
+            raise IndexError(f"thread id {tid} out of range")
+        self._cur = tid
+
+    def advance(self, ns: float) -> float:
+        """Charge ``ns`` nanoseconds to the current thread; return new now."""
+        if ns < 0:
+            raise ValueError(f"cannot advance by negative time {ns}")
+        self._times[self._cur] += ns
+        if self._times[self._cur] > self._max_seen:
+            self._max_seen = self._times[self._cur]
+        return self._times[self._cur]
+
+    def advance_to(self, t_ns: float) -> float:
+        """Move the current thread forward to ``t_ns`` (no-op if in the past)."""
+        if t_ns > self._times[self._cur]:
+            self._times[self._cur] = t_ns
+            if t_ns > self._max_seen:
+                self._max_seen = t_ns
+        return self._times[self._cur]
+
+    def time_of(self, tid: int) -> float:
+        return self._times[tid]
+
+    def next_thread(self) -> int:
+        """Return the id of the thread with the smallest timeline.
+
+        The workload runner uses this to pick which logical thread issues
+        its next operation, giving a fair event-driven interleaving.
+        """
+        best = 0
+        best_t = self._times[0]
+        for tid in range(1, len(self._times)):
+            if self._times[tid] < best_t:
+                best = tid
+                best_t = self._times[tid]
+        return best
+
+    def sync_all(self) -> float:
+        """Barrier: bring every thread up to the maximum timeline."""
+        top = max(self._times)
+        for tid in range(len(self._times)):
+            self._times[tid] = top
+        self._max_seen = max(self._max_seen, top)
+        return top
+
+    def reset(self) -> None:
+        for tid in range(len(self._times)):
+            self._times[tid] = 0.0
+        self._max_seen = 0.0
+        self._cur = 0

@@ -1,0 +1,115 @@
+"""Shared device-side resources modelled as busy-until timelines.
+
+A :class:`Resource` is a single server (e.g. one flash channel, the PCIe
+link, the embedded firmware core).  Serving a request that arrives at time
+``t`` and needs ``d`` ns finishes at ``max(t, busy_until) + d``; the
+resource then stays busy until that finish time.  This is the classic
+single-queue approximation and is what creates contention between the
+per-thread timelines of :class:`~repro.sim.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class Resource:
+    """A single-server resource with a busy-until timeline."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.total_busy_ns = 0.0
+
+    def serve(self, start_ns: float, duration_ns: float) -> float:
+        """Serve a foreground request; return its completion time."""
+        begin = max(start_ns, self.busy_until)
+        end = begin + duration_ns
+        self.busy_until = end
+        self.total_busy_ns += duration_ns
+        return end
+
+    def occupy(self, start_ns: float, duration_ns: float) -> float:
+        """Occupy the resource for background work (same queueing rule).
+
+        The caller does *not* advance any thread clock; it only records the
+        completion time (e.g. to know when a background log flush drains).
+        """
+        return self.serve(start_ns, duration_ns)
+
+    def utilization(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.total_busy_ns / elapsed_ns)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy_ns = 0.0
+
+
+class ChannelArray:
+    """An array of parallel resources (flash channels).
+
+    Page operations address a specific channel; multi-page transfers stripe
+    across channels and complete when the slowest stripe completes.
+    """
+
+    def __init__(self, n_channels: int, name: str = "flash-ch") -> None:
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        self.channels: List[Resource] = [
+            Resource(f"{name}{i}") for i in range(n_channels)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def serve(self, channel: int, start_ns: float, duration_ns: float) -> float:
+        return self.channels[channel % len(self.channels)].serve(
+            start_ns, duration_ns
+        )
+
+    def occupy(self, channel: int, start_ns: float, duration_ns: float) -> float:
+        return self.channels[channel % len(self.channels)].occupy(
+            start_ns, duration_ns
+        )
+
+    def earliest_free(self) -> int:
+        """Index of the channel that frees up first."""
+        best = 0
+        best_t = self.channels[0].busy_until
+        for i in range(1, len(self.channels)):
+            if self.channels[i].busy_until < best_t:
+                best = i
+                best_t = self.channels[i].busy_until
+        return best
+
+    def max_busy_until(self) -> float:
+        return max(ch.busy_until for ch in self.channels)
+
+    def reset(self) -> None:
+        for ch in self.channels:
+            ch.reset()
+
+
+class Pipeline:
+    """A resource that admits up to ``width`` concurrent requests.
+
+    Used for posted MMIO writes, which pipeline on the PCIe link: each
+    request still takes its full latency, but up to ``width`` of them
+    overlap.  Implemented as ``width`` round-robin single servers.
+    """
+
+    def __init__(self, name: str, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.name = name
+        self._lanes = [Resource(f"{name}-lane{i}") for i in range(width)]
+
+    def serve(self, start_ns: float, duration_ns: float) -> float:
+        lane = min(self._lanes, key=lambda r: r.busy_until)
+        return lane.serve(start_ns, duration_ns)
+
+    def reset(self) -> None:
+        for lane in self._lanes:
+            lane.reset()

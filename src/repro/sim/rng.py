@@ -1,0 +1,17 @@
+"""Deterministic RNG construction.
+
+Every stochastic component (skip-list level choice, workload generators,
+Zipfian sampling) derives its generator from a (seed, label) pair so runs
+are reproducible and components do not perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def make_rng(seed: int, label: str = "") -> random.Random:
+    """Return a :class:`random.Random` derived from ``seed`` and ``label``."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,257 @@
+"""The memory-semantic SSD device: dual byte/block interface (paper §2.1).
+
+The device exposes:
+
+* a **byte interface** — the whole SSD is BAR-mapped into host memory;
+  ``load``/``store`` move cachelines over PCIe MMIO (or CXL.mem), with
+  ``store(persist=True)`` implementing the paper's two-step durable write
+  (clflush + zero-byte write-verify read);
+* a **block interface** — conventional NVMe reads/writes at 4 KB pages,
+  plus the paper's custom commands ``COMMIT(TxID)`` and ``RECOVER()``.
+
+All host<->device traffic is recorded against :class:`TrafficStats` with
+the data-structure tag supplied by the file system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.ftl.ftl import FTL, FTLConfig
+from repro.interconnect.link import HostLink
+from repro.nand.chip import FlashArray
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import ChannelArray
+from repro.ssd.firmware.baseline_fw import BaselineFirmware, BaselineFirmwareConfig
+from repro.ssd.firmware.bytefs_fw import ByteFSFirmware, ByteFSFirmwareConfig
+from repro.stats.traffic import Direction, Interface, StructKind, TrafficStats
+
+
+@dataclass
+class MSSDConfig:
+    """Everything needed to build a simulated M-SSD."""
+
+    geometry: FlashGeometry = field(default_factory=FlashGeometry)
+    timing: TimingModel = field(default_factory=TimingModel)
+    ftl: FTLConfig = field(default_factory=FTLConfig)
+    firmware: str = "bytefs"  # "bytefs" or "baseline"
+    #: fraction of raw flash reserved for the FTL (not host-visible)
+    overprovision: float = 0.125
+    bytefs_fw: ByteFSFirmwareConfig = field(
+        default_factory=ByteFSFirmwareConfig
+    )
+    baseline_fw: BaselineFirmwareConfig = field(
+        default_factory=BaselineFirmwareConfig
+    )
+
+
+class MSSD:
+    """A memory-semantic SSD with dual byte/block interfaces."""
+
+    def __init__(
+        self,
+        config: MSSDConfig,
+        clock: VirtualClock,
+        stats: TrafficStats,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.stats = stats
+        self.geometry = config.geometry
+        self.page_size = config.geometry.page_size
+        self.flash = FlashArray(config.geometry)
+        self.channels = ChannelArray(config.geometry.n_channels)
+        self.link = HostLink(clock, config.timing)
+        self.ftl = FTL(
+            config.geometry,
+            self.flash,
+            self.channels,
+            config.timing,
+            clock,
+            stats,
+            config.ftl,
+        )
+        self.firmware: Union[ByteFSFirmware, BaselineFirmware]
+        if config.firmware == "bytefs":
+            self.firmware = ByteFSFirmware(
+                self.ftl, config.timing, clock, stats, config.bytefs_fw
+            )
+        elif config.firmware == "baseline":
+            self.firmware = BaselineFirmware(
+                self.ftl, config.timing, clock, stats, config.baseline_fw
+            )
+        else:
+            raise ValueError(f"unknown firmware variant {config.firmware!r}")
+
+    # ------------------------------------------------------------------ #
+    # geometry helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Host-visible logical pages (raw flash minus overprovisioning)."""
+        return int(self.geometry.total_pages * (1 - self.config.overprovision))
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * self.page_size
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.capacity_bytes:
+            raise ValueError(
+                f"device access [{addr}, {addr + length}) out of range"
+            )
+
+    # ------------------------------------------------------------------ #
+    # byte interface (MMIO / CXL.mem)
+    # ------------------------------------------------------------------ #
+
+    def load(self, addr: int, length: int, kind: StructKind) -> bytes:
+        """Byte-granular read of [addr, addr+length)."""
+        if length <= 0:
+            return b""
+        self._check_range(addr, length)
+        self.stats.record_host_ssd(
+            kind, Direction.READ, Interface.BYTE, length
+        )
+        self.link.mmio_read(length)
+        out = bytearray()
+        for lpa, off, n in self._split(addr, length):
+            out += self.firmware.byte_read(lpa, off, n)
+        return bytes(out)
+
+    def store(
+        self,
+        addr: int,
+        data: bytes,
+        kind: StructKind,
+        txid: Optional[int] = None,
+        persist: Optional[bool] = None,
+    ) -> None:
+        """Byte-granular write.
+
+        ``persist`` adds the §4.2 durability steps (clflush plus a
+        zero-byte write-verify read).  By default a *transactional* store
+        defers the barrier to ``commit(txid)`` — the posted writes of one
+        transaction share a single drain — while a non-transactional
+        store is made durable immediately.
+        """
+        if persist is None:
+            persist = txid is None
+        if not data:
+            return
+        self._check_range(addr, len(data))
+        self.stats.record_host_ssd(
+            kind, Direction.WRITE, Interface.BYTE, len(data)
+        )
+        self.link.mmio_write(len(data))
+        pos = 0
+        for lpa, off, n in self._split(addr, len(data)):
+            self.firmware.byte_write(lpa, off, data[pos : pos + n], txid)
+            pos += n
+        if persist:
+            self.link.persist_barrier(max(1, math.ceil(len(data) / 64)))
+
+    def _split(self, addr: int, length: int):
+        """Split a byte range into (lpa, in-page offset, length) pieces."""
+        pieces = []
+        while length > 0:
+            lpa = addr // self.page_size
+            off = addr % self.page_size
+            n = min(length, self.page_size - off)
+            pieces.append((lpa, off, n))
+            addr += n
+            length -= n
+        return pieces
+
+    # ------------------------------------------------------------------ #
+    # block interface (NVMe)
+    # ------------------------------------------------------------------ #
+
+    def read_blocks(self, lba: int, n_blocks: int, kind: StructKind) -> bytes:
+        """NVMe read of ``n_blocks`` pages starting at ``lba``."""
+        if n_blocks <= 0:
+            return b""
+        self._check_range(lba * self.page_size, n_blocks * self.page_size)
+        nbytes = n_blocks * self.page_size
+        self.stats.record_host_ssd(
+            kind, Direction.READ, Interface.BLOCK, nbytes
+        )
+        out = bytearray()
+        if n_blocks == 1:
+            out += self.firmware.block_read(lba)
+        else:
+            # Multi-page reads exploit channel parallelism inside the
+            # firmware (all flash reads issued from the same start time).
+            for data in self.firmware.block_read_many(
+                list(range(lba, lba + n_blocks))
+            ):
+                out += data
+        self.link.dma(nbytes, write=False)
+        return bytes(out)
+
+    def write_blocks(self, lba: int, data: bytes, kind: StructKind) -> None:
+        """NVMe write of page-aligned ``data`` starting at ``lba``."""
+        if len(data) % self.page_size != 0:
+            raise ValueError("block writes must be page aligned")
+        self._check_range(lba * self.page_size, len(data))
+        n_blocks = len(data) // self.page_size
+        self.stats.record_host_ssd(
+            kind, Direction.WRITE, Interface.BLOCK, len(data)
+        )
+        self.link.dma(len(data), write=True)
+        for i in range(n_blocks):
+            page = data[i * self.page_size : (i + 1) * self.page_size]
+            self.firmware.block_write(lba + i, page, kind)
+
+    def trim(self, lba: int, n_blocks: int = 1) -> None:
+        for i in range(n_blocks):
+            self.firmware.trim(lba + i)
+
+    # custom NVMe commands ------------------------------------------------
+
+    def commit(self, txid: int) -> None:
+        """COMMIT(TxID): only supported by the ByteFS firmware (§4.3).
+
+        The barrier drains the transaction's outstanding posted writes
+        (ordering before the commit entry, Fig 4), then the 4 B commit
+        entry is appended to the TxLog.
+        """
+        self.link.persist_barrier(1)
+        self.link.dma(4, write=True)
+        self.firmware.commit(txid)
+
+    def recover(self) -> Dict[str, float]:
+        """RECOVER(): firmware-level crash recovery (§4.7)."""
+        return self.firmware.recover()
+
+    def power_fail(self) -> None:
+        """Simulate power loss: device DRAM is battery-backed (retained);
+        the host side must drop its own caches separately."""
+        self.firmware.power_fail()
+
+    def flush_all(self) -> None:
+        """Drain all device-side buffered state to flash (unmount/sync)."""
+        self.firmware.force_clean()
+
+
+def build_mssd(
+    clock: Optional[VirtualClock] = None,
+    stats: Optional[TrafficStats] = None,
+    config: Optional[MSSDConfig] = None,
+    **overrides,
+) -> MSSD:
+    """Convenience constructor used by tests, examples, and benches.
+
+    ``overrides`` may set any :class:`MSSDConfig` field by name.
+    """
+    cfg = config or MSSDConfig()
+    for key, value in overrides.items():
+        if not hasattr(cfg, key):
+            raise TypeError(f"unknown MSSDConfig field {key!r}")
+        setattr(cfg, key, value)
+    return MSSD(cfg, clock or VirtualClock(), stats or TrafficStats())

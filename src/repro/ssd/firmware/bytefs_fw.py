@@ -1,0 +1,397 @@
+"""The ByteFS firmware: log-structured SSD DRAM write log (paper §4.3).
+
+Responsibilities:
+
+* byte-interface reads/writes against the write log (64 B entries,
+  three-layer skip-list index);
+* block-interface reads merged with logged dirty chunks, block writes
+  invalidating logged chunks;
+* transaction commit via the TxLog and ``COMMIT(TxID)``;
+* Algorithm-1 log cleaning with double buffering (background flush;
+  foreground stalls only when both halves are exhausted);
+* coordinated caching: no page-granular device cache — flash pages read
+  on a byte-interface miss are returned to the host and cached *there*;
+* ``RECOVER()``: discard uncommitted entries, flush committed ones in
+  TxLog commit order, then reset the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ftl.ftl import FTL
+from repro.nand.timing import TimingModel
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import Resource
+from repro.ssd.firmware.log_index import ChunkEntry, PageNode
+from repro.ssd.firmware.txlog import TxLog
+from repro.ssd.firmware.write_log import LogFullError, LogRegion, aligned_entry_size
+from repro.stats.traffic import Direction, StructKind, TrafficStats
+
+
+@dataclass(frozen=True)
+class ByteFSFirmwareConfig:
+    """Firmware tunables (paper defaults: 256 MB log, 85 % threshold,
+    16 MB partitions, 2 MB TxLog — scaled down in tests/benches)."""
+
+    log_bytes: int = 4 << 20
+    clean_threshold: float = 0.85
+    partition_bytes: int = 1 << 20
+    txlog_bytes: int = 64 << 10
+
+
+class ByteFSFirmware:
+    """Firmware half of the ByteFS co-design."""
+
+    def __init__(
+        self,
+        ftl: FTL,
+        timing: TimingModel,
+        clock: VirtualClock,
+        stats: TrafficStats,
+        config: Optional[ByteFSFirmwareConfig] = None,
+    ) -> None:
+        self.ftl = ftl
+        self.timing = timing
+        self.clock = clock
+        self.stats = stats
+        self.config = config or ByteFSFirmwareConfig()
+        self.page_size = ftl.geometry.page_size
+
+        half = self.config.log_bytes // 2
+        address_space = ftl.geometry.capacity_bytes
+        self.regions: List[LogRegion] = [
+            LogRegion(
+                half,
+                self.page_size,
+                self.config.partition_bytes,
+                address_space,
+                seed=i,
+            )
+            for i in range(2)
+        ]
+        self.active = 0
+        self.txlog = TxLog(self.config.txlog_bytes)
+        self.fw_core = Resource("fw-core")
+        self._seq = 0
+        # Live log entries per transaction id (for safe TxLog pruning).
+        self._tx_refs: Dict[int, int] = {}
+        self.cleanings = 0
+
+    # ------------------------------------------------------------------ #
+    # small helpers
+    # ------------------------------------------------------------------ #
+
+    def _fw(self, duration_ns: float) -> None:
+        """Run a foreground firmware operation on the embedded core."""
+        end = self.fw_core.serve(self.clock.now, duration_ns)
+        self.clock.advance_to(end)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _chunks_for(self, lpa: int) -> List[ChunkEntry]:
+        """All logged chunks of a page across both regions, seq-ordered."""
+        chunks: List[ChunkEntry] = []
+        for region in self.regions:
+            node = region.index.lookup(lpa)
+            if node is not None:
+                chunks.extend(node.chunks)
+        chunks.sort(key=lambda c: c.seq)
+        return chunks
+
+    def _merge(self, base: bytes, chunks: List[ChunkEntry]) -> bytes:
+        """Apply chunks (already seq-ordered) onto a page image."""
+        if not chunks:
+            return base
+        page = bytearray(base)
+        for c in chunks:
+            page[c.offset : c.offset + c.length] = c.data
+        return bytes(page)
+
+    @staticmethod
+    def _covers(chunks: List[ChunkEntry], offset: int, length: int) -> bool:
+        """Whether the union of chunk ranges covers [offset, offset+length)."""
+        if not chunks:
+            return False
+        intervals = sorted((c.offset, c.end) for c in chunks)
+        covered_to = offset
+        for lo, hi in intervals:
+            if lo > covered_to:
+                break
+            covered_to = max(covered_to, hi)
+            if covered_to >= offset + length:
+                return True
+        return covered_to >= offset + length
+
+    # ------------------------------------------------------------------ #
+    # byte interface
+    # ------------------------------------------------------------------ #
+
+    def byte_read(self, lpa: int, offset: int, length: int) -> bytes:
+        """Serve an MMIO load: from the log if covered, else from flash.
+
+        Coordinated caching (§4.3): a flash page read on a miss is *not*
+        cached in SSD DRAM; the host caches it instead.
+        """
+        self._fw(self.timing.fw_op_ns)
+        chunks = self._chunks_for(lpa)
+        if self._covers(chunks, offset, length):
+            self.stats.bump("fw_byte_read_log_hits")
+            page = self._merge(bytes(self.page_size), chunks)
+            return page[offset : offset + length]
+        self.stats.bump("fw_byte_read_flash_misses")
+        base = self.ftl.read_page(lpa, StructKind.OTHER, background=False)
+        merged = self._merge(base, chunks)
+        return merged[offset : offset + length]
+
+    def byte_write(
+        self,
+        lpa: int,
+        offset: int,
+        data: bytes,
+        txid: Optional[int] = None,
+    ) -> None:
+        """Append an MMIO store to the write log and index it."""
+        if not data:
+            return
+        if offset + len(data) > self.page_size:
+            raise ValueError("byte write crosses a page boundary")
+        self._ensure_space(len(data))
+        self._fw(self.timing.fw_append_ns)
+        region = self.regions[self.active]
+        log_off = region.consume(len(data))
+        entry = ChunkEntry(
+            offset=offset,
+            length=len(data),
+            log_off=log_off,
+            txid=txid,
+            seq=self._next_seq(),
+            data=bytes(data),
+        )
+        region.index.insert(lpa, entry)
+        if txid is not None:
+            self._tx_refs[txid] = self._tx_refs.get(txid, 0) + 1
+        self.stats.bump("fw_log_appends")
+
+    # ------------------------------------------------------------------ #
+    # block interface
+    # ------------------------------------------------------------------ #
+
+    def block_read(self, lpa: int) -> bytes:
+        """NVMe read: flash page merged with any logged dirty chunks."""
+        return self.block_read_many([lpa])[0]
+
+    def block_read_many(self, lpas: List[int]) -> List[bytes]:
+        """NVMe multi-page read: flash reads stripe across channels."""
+        self._fw(self.timing.fw_op_ns * len(lpas))
+        bases = self.ftl.read_pages(lpas, StructKind.OTHER, background=False)
+        out = []
+        for lpa, base in zip(lpas, bases):
+            chunks = self._chunks_for(lpa)
+            if chunks:
+                self.stats.bump("fw_block_read_merges")
+            out.append(self._merge(base, chunks))
+        return out
+
+    def block_write(self, lpa: int, data: bytes, kind: StructKind) -> None:
+        """NVMe write: invalidate logged chunks, then write through the FTL
+        write buffer (host page-cache writebacks are always up to date,
+        §4.4)."""
+        self._fw(self.timing.fw_op_ns)
+        for region in self.regions:
+            node = region.index.remove_page(lpa)
+            if node is not None:
+                self._drop_refs(node.chunks)
+                self.stats.bump("fw_log_invalidations", len(node.chunks))
+        self.ftl.write_page(lpa, data, kind, background=True)
+
+    def trim(self, lpa: int) -> None:
+        for region in self.regions:
+            node = region.index.remove_page(lpa)
+            if node is not None:
+                self._drop_refs(node.chunks)
+        self.ftl.trim(lpa)
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def commit(self, txid: int) -> None:
+        """Handle COMMIT(TxID): append a 4 B entry to the TxLog (§4.3)."""
+        self._fw(self.timing.fw_append_ns)
+        self.txlog.commit(txid)
+        self.stats.bump("fw_commits")
+
+    def is_committed(self, entry: ChunkEntry) -> bool:
+        return entry.txid is None or self.txlog.is_committed(entry.txid)
+
+    def _drop_refs(self, chunks: List[ChunkEntry]) -> None:
+        for c in chunks:
+            if c.txid is not None and c.txid in self._tx_refs:
+                self._tx_refs[c.txid] -= 1
+                if self._tx_refs[c.txid] <= 0:
+                    del self._tx_refs[c.txid]
+
+    # ------------------------------------------------------------------ #
+    # log cleaning (Algorithm 1) with double buffering
+    # ------------------------------------------------------------------ #
+
+    def _ensure_space(self, length: int) -> None:
+        region = self.regions[self.active]
+        size = aligned_entry_size(length)
+        if (
+            region.free >= size
+            and region.utilization() < self.config.clean_threshold
+        ):
+            return
+        other = self.regions[1 - self.active]
+        if other.is_cleaning:
+            # Both halves exhausted: the foreground must wait for the
+            # background flush of the other half to drain.
+            if self.clock.now < other.cleaning_until:
+                self.stats.bump("fw_log_clean_stalls")
+                self.clock.advance_to(other.cleaning_until)
+            other.is_cleaning = False
+        old_idx = self.active
+        self.active = 1 - self.active
+        self._clean_region(old_idx)
+        new_active = self.regions[self.active]
+        if aligned_entry_size(length) > new_active.free:
+            raise LogFullError(
+                f"entry of {length} B cannot fit in a "
+                f"{new_active.capacity} B log region"
+            )
+
+    def _clean_region(self, idx: int) -> None:
+        """Flush one region to flash (Algorithm 1), in the background."""
+        region = self.regions[idx]
+        self.cleanings += 1
+        self.stats.bump("fw_log_cleanings")
+        start_busy = self.ftl.channels.max_busy_until()
+        for node in list(region.index.pages()):
+            self._flush_page_node(node)
+        region.reset()
+        region.is_cleaning = True
+        region.cleaning_until = max(
+            self.ftl.channels.max_busy_until(), start_busy
+        )
+        self._prune_txlog()
+
+    def _flush_page_node(self, node: PageNode) -> None:
+        """Algorithm 1 body for one modified page."""
+        committed = [c for c in node.chunks if self.is_committed(c)]
+        uncommitted = [c for c in node.chunks if not self.is_committed(c)]
+        # Uncommitted entries migrate to the (new) active log region.
+        for c in uncommitted:
+            active = self.regions[self.active]
+            c.log_off = active.consume(c.length)
+            active.index.insert(node.lpa, c)
+        if not committed:
+            return
+        # Partial update: the old flash page must be loaded first.
+        if not self._covers(committed, 0, self.page_size):
+            base = self.ftl.read_page(
+                node.lpa, StructKind.OTHER, background=True
+            )
+            self.stats.bump("fw_clean_partial_reads")
+        else:
+            base = bytes(self.page_size)
+        committed.sort(key=lambda c: (self.txlog.commit_position(c.txid)
+                                      if c.txid is not None else -1, c.seq))
+        merged = self._merge(base, committed)
+        self.ftl.write_page(node.lpa, merged, StructKind.OTHER, background=True)
+        self.stats.bump("fw_clean_page_flushes")
+
+    def _prune_txlog(self) -> None:
+        """Drop TxLog entries whose transactions have no live log entries."""
+        live = set(self._tx_refs)
+        remaining = [t for t in self.txlog.committed_in_order() if t in live]
+        self.txlog.clear()
+        for t in remaining:
+            self.txlog.commit(t)
+
+    def force_clean(self) -> None:
+        """Flush both halves now (used by unmount/sync)."""
+        for idx in (self.active, 1 - self.active):
+            if self.regions[idx].used or self.regions[idx].index.n_chunks:
+                self._clean_region(idx)
+        for region in self.regions:
+            if region.is_cleaning:
+                self.clock.advance_to(
+                    max(self.clock.now, region.cleaning_until)
+                )
+                region.is_cleaning = False
+        self.ftl.drain_write_buffer()
+
+    # ------------------------------------------------------------------ #
+    # power loss and recovery
+    # ------------------------------------------------------------------ #
+
+    def power_fail(self) -> None:
+        """Battery-backed DRAM: the log, index, and TxLog survive as-is."""
+        self.stats.bump("fw_power_failures")
+
+    def recover(self) -> Dict[str, float]:
+        """Handle RECOVER(): scan the log, discard uncommitted entries,
+        flush committed ones in commit order, reset log and TxLog (§4.7).
+
+        Returns recovery statistics including the simulated duration.
+        """
+        t0 = self.clock.now
+        scanned = 0
+        discarded = 0
+        flushed_pages = 0
+        # Scan cost: every data entry's trailing TxID is checked.
+        for region in self.regions:
+            for node in region.index.pages():
+                scanned += len(node.chunks)
+        self._fw(self.timing.fw_op_ns * max(1, scanned))
+        # Flush committed entries page by page, honouring commit order.
+        all_nodes: Dict[int, List[ChunkEntry]] = {}
+        for region in self.regions:
+            for node in region.index.pages():
+                for c in node.chunks:
+                    if self.is_committed(c):
+                        all_nodes.setdefault(node.lpa, []).append(c)
+                    else:
+                        discarded += 1
+        for lpa, chunks in sorted(all_nodes.items()):
+            chunks.sort(
+                key=lambda c: (
+                    self.txlog.commit_position(c.txid)
+                    if c.txid is not None
+                    else -1,
+                    c.seq,
+                )
+            )
+            if not self._covers(chunks, 0, self.page_size):
+                base = self.ftl.read_page(lpa, StructKind.OTHER, background=False)
+            else:
+                base = bytes(self.page_size)
+            merged = self._merge(base, chunks)
+            self.ftl.write_page(lpa, merged, StructKind.OTHER, background=False)
+            flushed_pages += 1
+        self.ftl.drain_write_buffer()
+        for region in self.regions:
+            region.reset()
+        self.txlog.clear()
+        self._tx_refs.clear()
+        return {
+            "scanned_entries": scanned,
+            "discarded_entries": discarded,
+            "flushed_pages": flushed_pages,
+            "duration_ns": self.clock.now - t0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def log_utilization(self) -> float:
+        return self.regions[self.active].utilization()
+
+    def index_memory_bytes(self) -> int:
+        return sum(r.index.memory_bytes() for r in self.regions)

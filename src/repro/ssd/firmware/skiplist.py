@@ -1,0 +1,127 @@
+"""A probabilistic skip list keyed by integers (logical page addresses).
+
+The paper indexes the firmware write log with *multiple small skip lists*
+(one per 16 MB partition of the SSD address space) rather than one huge
+list, to bound lookup latency on the embedded core (§4.3: 89 ns average
+lookup on a fully utilized 256 MB log).  This module provides the
+individual list; :mod:`repro.ssd.firmware.log_index` provides the
+partitioned three-layer structure.
+
+Levels are chosen with a deterministic RNG so simulations are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Optional, Tuple
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: int, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Ordered int -> value map with O(log n) expected operations."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random(0xB17EF5)
+        self._head = _Node(-1, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None or self._find(key) is not None
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find(self, key: int) -> Optional[_Node]:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate
+        return None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace the value for ``key``."""
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+            update[lvl] = node
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new = _Node(key, value, level)
+        for lvl in range(level):
+            new.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new
+        self._len += 1
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+            update[lvl] = node
+        target = node.forward[0]
+        if target is None or target.key != key:
+            return False
+        for lvl in range(len(target.forward)):
+            if update[lvl].forward[lvl] is target:
+                update[lvl].forward[lvl] = target.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+        return True
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate (key, value) pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        """Iterate pairs with lo <= key < hi."""
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < lo:
+                node = node.forward[lvl]
+        node = node.forward[0]
+        while node is not None and node.key < hi:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def clear(self) -> None:
+        self._head = _Node(-1, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0

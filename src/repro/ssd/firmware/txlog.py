@@ -1,0 +1,51 @@
+"""The firmware transaction log (paper §4.3, Fig 4).
+
+A small (2 MB) region of SSD DRAM holding 4 B commit entries in commit
+order.  ``COMMIT(TxID)`` appends an entry; log cleaning flushes committed
+updates in TxLog order and then truncates it; recovery treats any TxID
+absent from the TxLog as uncommitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+ENTRY_BYTES = 4
+
+
+class TxLogFullError(Exception):
+    pass
+
+
+class TxLog:
+    """Commit-ordered set of committed transaction ids."""
+
+    def __init__(self, capacity_bytes: int = 2 << 20) -> None:
+        self.capacity_entries = capacity_bytes // ENTRY_BYTES
+        self._order: List[int] = []
+        self._positions: Dict[int, int] = {}
+
+    def commit(self, txid: int) -> None:
+        if len(self._order) >= self.capacity_entries:
+            raise TxLogFullError("TxLog full; log cleaning must run first")
+        if txid in self._positions:
+            return  # idempotent commit
+        self._positions[txid] = len(self._order)
+        self._order.append(txid)
+
+    def is_committed(self, txid: int) -> bool:
+        return txid in self._positions
+
+    def commit_position(self, txid: int) -> int:
+        """Rank of ``txid`` in commit order (for ordered flushing)."""
+        return self._positions[txid]
+
+    def committed_in_order(self) -> List[int]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def clear(self) -> None:
+        self._order.clear()
+        self._positions.clear()

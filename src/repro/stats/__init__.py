@@ -1,0 +1,25 @@
+"""Traffic accounting: the measurement substrate behind every figure.
+
+Every byte moved between host and device is tagged with the file-system
+data structure it belongs to (:class:`StructKind`), the direction, and the
+interface (byte MMIO vs. block NVMe).  Flash-side page traffic is tracked
+separately.  Amplification factors (Table 2) are device traffic divided by
+application-issued traffic, which the workloads record through
+:meth:`TrafficStats.record_app`.
+"""
+
+from repro.stats.traffic import (
+    Direction,
+    Interface,
+    StructKind,
+    TrafficStats,
+    LatencyRecorder,
+)
+
+__all__ = [
+    "Direction",
+    "Interface",
+    "StructKind",
+    "TrafficStats",
+    "LatencyRecorder",
+]

@@ -1,0 +1,187 @@
+"""Traffic and latency accounting for the ByteFS reproduction."""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class StructKind(enum.Enum):
+    """The file-system data structure a transfer belongs to (paper Table 3)."""
+
+    SUPERBLOCK = "superblock"
+    BITMAP = "bitmap"          # block list + inode list
+    INODE = "inode"
+    DENTRY = "dentry"
+    DATA_PTR = "data_ptr"
+    DATA = "data"
+    JOURNAL = "journal"
+    OTHER = "other"
+
+    @property
+    def is_metadata(self) -> bool:
+        return self not in (StructKind.DATA,)
+
+
+METADATA_KINDS = tuple(k for k in StructKind if k.is_metadata)
+
+
+class Direction(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class Interface(enum.Enum):
+    BYTE = "byte"    # PCIe MMIO / CXL.mem loads and stores
+    BLOCK = "block"  # NVMe block commands
+
+
+class TrafficStats:
+    """Aggregates host<->SSD traffic, flash traffic, and app-issued bytes."""
+
+    def __init__(self) -> None:
+        # (kind, direction, interface) -> bytes
+        self.host_ssd: Dict[Tuple[StructKind, Direction, Interface], int] = (
+            defaultdict(int)
+        )
+        # (kind, direction) -> bytes of flash page traffic
+        self.flash: Dict[Tuple[StructKind, Direction], int] = defaultdict(int)
+        # direction -> bytes issued by the application through the FS API
+        self.app: Dict[Direction, int] = defaultdict(int)
+        # free-form event counters (cache hits, log cleanings, GC runs, ...)
+        self.counters: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record_host_ssd(
+        self,
+        kind: StructKind,
+        direction: Direction,
+        interface: Interface,
+        nbytes: int,
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.host_ssd[(kind, direction, interface)] += nbytes
+
+    def record_flash(
+        self, kind: StructKind, direction: Direction, nbytes: int
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.flash[(kind, direction)] += nbytes
+
+    def record_app(self, direction: Direction, nbytes: int) -> None:
+        self.app[direction] += nbytes
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        self.counters[counter] += n
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def host_ssd_bytes(
+        self,
+        kinds: Optional[Iterable[StructKind]] = None,
+        direction: Optional[Direction] = None,
+        interface: Optional[Interface] = None,
+    ) -> int:
+        kinds_set = set(kinds) if kinds is not None else None
+        total = 0
+        for (k, d, i), n in self.host_ssd.items():
+            if kinds_set is not None and k not in kinds_set:
+                continue
+            if direction is not None and d != direction:
+                continue
+            if interface is not None and i != interface:
+                continue
+            total += n
+        return total
+
+    def flash_bytes(
+        self,
+        kinds: Optional[Iterable[StructKind]] = None,
+        direction: Optional[Direction] = None,
+    ) -> int:
+        kinds_set = set(kinds) if kinds is not None else None
+        total = 0
+        for (k, d), n in self.flash.items():
+            if kinds_set is not None and k not in kinds_set:
+                continue
+            if direction is not None and d != direction:
+                continue
+            total += n
+        return total
+
+    def metadata_bytes(
+        self, direction: Direction, interface: Optional[Interface] = None
+    ) -> int:
+        return self.host_ssd_bytes(METADATA_KINDS, direction, interface)
+
+    def data_bytes(
+        self, direction: Direction, interface: Optional[Interface] = None
+    ) -> int:
+        return self.host_ssd_bytes((StructKind.DATA,), direction, interface)
+
+    def amplification(self, direction: Direction) -> float:
+        """Device traffic over app-issued traffic (paper Table 2)."""
+        app = self.app.get(direction, 0)
+        if app == 0:
+            return float("nan")
+        return self.host_ssd_bytes(direction=direction) / app
+
+    def breakdown(self, direction: Direction) -> Dict[StructKind, int]:
+        """Per-structure host<->SSD bytes for one direction (Figure 1)."""
+        out: Dict[StructKind, int] = defaultdict(int)
+        for (k, d, _i), n in self.host_ssd.items():
+            if d == direction:
+                out[k] += n
+        return dict(out)
+
+    def reset(self) -> None:
+        self.host_ssd.clear()
+        self.flash.clear()
+        self.app.clear()
+        self.counters.clear()
+
+
+class LatencyRecorder:
+    """Records per-operation latencies and reports mean / percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    def record(self, op: str, latency_ns: float) -> None:
+        self._samples[op].append(latency_ns)
+
+    def count(self, op: str) -> int:
+        return len(self._samples.get(op, ()))
+
+    def mean(self, op: str) -> float:
+        samples = self._samples.get(op)
+        if not samples:
+            return float("nan")
+        return sum(samples) / len(samples)
+
+    def percentile(self, op: str, pct: float) -> float:
+        samples = self._samples.get(op)
+        if not samples:
+            return float("nan")
+        ordered = sorted(samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def ops(self) -> List[str]:
+        return sorted(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()

@@ -1,0 +1,47 @@
+"""Workload generators reproducing the paper's Table 5.
+
+Scaled-down versions (file counts divided by ~1000, sizes preserved or
+modestly reduced) of:
+
+* micro-benchmarks: create / delete / mkdir / rmdir;
+* Filebench personalities: Varmail, Fileserver, Webproxy, Webserver, OLTP;
+* YCSB A-F over the LSM KV store, with Zipfian/latest/uniform request
+  distributions.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.micro import (
+    MicroCreate,
+    MicroDelete,
+    MicroMkdir,
+    MicroRmdir,
+    MICRO_WORKLOADS,
+)
+from repro.workloads.filebench import (
+    Varmail,
+    Fileserver,
+    Webproxy,
+    Webserver,
+    OLTP,
+    MACRO_WORKLOADS,
+)
+from repro.workloads.ycsb import YCSB, YCSB_MIXES
+from repro.workloads.zipfian import ZipfianGenerator
+
+__all__ = [
+    "Workload",
+    "MicroCreate",
+    "MicroDelete",
+    "MicroMkdir",
+    "MicroRmdir",
+    "MICRO_WORKLOADS",
+    "Varmail",
+    "Fileserver",
+    "Webproxy",
+    "Webserver",
+    "OLTP",
+    "MACRO_WORKLOADS",
+    "YCSB",
+    "YCSB_MIXES",
+    "ZipfianGenerator",
+]

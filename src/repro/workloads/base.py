@@ -1,0 +1,41 @@
+"""The workload protocol used by the bench harness.
+
+A workload declares its thread count, performs un-measured ``setup``,
+then provides one operation generator per simulated thread.  Each
+``next()`` on a generator performs one operation against the file system
+and yields the operation's name (used for per-op latency recording).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List
+
+from repro.fs.vfs import BaseFileSystem
+from repro.sim.rng import make_rng
+
+
+class Workload(abc.ABC):
+    """Base class for all workloads."""
+
+    name = "workload"
+    n_threads = 1
+
+    def __init__(self, seed: int = 42) -> None:
+        self.seed = seed
+
+    def rng(self, label: str):
+        return make_rng(self.seed, f"{self.name}:{label}")
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        """Prepare the file set; excluded from measurement."""
+
+    @abc.abstractmethod
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        """Yield once per completed operation (value = op name)."""
+
+    def make_threads(self, fs: BaseFileSystem) -> List[Iterator[str]]:
+        return [self.thread_ops(fs, tid) for tid in range(self.n_threads)]
+
+    def teardown(self, fs: BaseFileSystem) -> None:
+        """Optional cleanup after measurement."""

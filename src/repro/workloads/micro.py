@@ -1,0 +1,123 @@
+"""Filebench-style micro-benchmarks (paper Table 5).
+
+The paper runs 1 M files/dirs over 12 threads; these are the same access
+patterns at 1/1000 scale.  Each thread works in its own directory, and
+every create/delete is followed by the fsync the paper's micro set
+performs (synchronous metadata operations are exactly what separate the
+file systems in Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.fs.vfs import BaseFileSystem, O_CREAT, O_RDWR
+from repro.workloads.base import Workload
+
+
+class MicroCreate(Workload):
+    """Create ``n_files`` 4 KB files across ``n_threads`` threads."""
+
+    name = "create"
+
+    def __init__(
+        self, n_files: int = 600, n_threads: int = 12, seed: int = 42
+    ) -> None:
+        super().__init__(seed)
+        self.n_files = n_files
+        self.n_threads = n_threads
+        self.payload = b"\xab" * 4096
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        for tid in range(self.n_threads):
+            fs.mkdir(f"/t{tid}")
+
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        for i in range(self.n_files // self.n_threads):
+            fd = fs.open(f"/t{tid}/f{i}", O_CREAT | O_RDWR)
+            fs.write(fd, self.payload)
+            fs.fsync(fd)
+            fs.close(fd)
+            yield "create"
+
+
+class MicroDelete(Workload):
+    """Delete the pre-created 4 KB files."""
+
+    name = "delete"
+
+    def __init__(
+        self, n_files: int = 600, n_threads: int = 12, seed: int = 42
+    ) -> None:
+        super().__init__(seed)
+        self.n_files = n_files
+        self.n_threads = n_threads
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        payload = b"\xcd" * 4096
+        for tid in range(self.n_threads):
+            fs.mkdir(f"/t{tid}")
+            for i in range(self.n_files // self.n_threads):
+                fd = fs.open(f"/t{tid}/f{i}", O_CREAT | O_RDWR)
+                fs.write(fd, payload)
+                fs.fsync(fd)
+                fs.close(fd)
+
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        for i in range(self.n_files // self.n_threads):
+            fs.unlink(f"/t{tid}/f{i}")
+            yield "delete"
+
+
+class MicroMkdir(Workload):
+    """Make ``n_dirs`` directories."""
+
+    name = "mkdir"
+
+    def __init__(
+        self, n_dirs: int = 600, n_threads: int = 12, seed: int = 42
+    ) -> None:
+        super().__init__(seed)
+        self.n_dirs = n_dirs
+        self.n_threads = n_threads
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        for tid in range(self.n_threads):
+            fs.mkdir(f"/t{tid}")
+
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        for i in range(self.n_dirs // self.n_threads):
+            fs.mkdir(f"/t{tid}/d{i}")
+            yield "mkdir"
+
+
+class MicroRmdir(Workload):
+    """Remove pre-created directories."""
+
+    name = "rmdir"
+
+    def __init__(
+        self, n_dirs: int = 600, n_threads: int = 12, seed: int = 42
+    ) -> None:
+        super().__init__(seed)
+        self.n_dirs = n_dirs
+        self.n_threads = n_threads
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        for tid in range(self.n_threads):
+            fs.mkdir(f"/t{tid}")
+            for i in range(self.n_dirs // self.n_threads):
+                fs.mkdir(f"/t{tid}/d{i}")
+
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        for i in range(self.n_dirs // self.n_threads):
+            fs.rmdir(f"/t{tid}/d{i}")
+            yield "rmdir"
+
+
+MICRO_WORKLOADS = {
+    "create": MicroCreate,
+    "delete": MicroDelete,
+    "mkdir": MicroMkdir,
+    "rmdir": MicroRmdir,
+}

@@ -1,0 +1,72 @@
+"""Request distribution generators for YCSB (Zipfian, latest, uniform).
+
+The Zipfian generator follows Gray et al.'s "Quickly generating
+billion-record synthetic databases" construction, which is what the YCSB
+reference implementation uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in [0, n); theta defaults to YCSB's
+    0.99."""
+
+    def __init__(
+        self, n: int, theta: float = 0.99, rng: random.Random = None
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(0)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (
+            1 - self.zeta2 / self.zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.n * ((self.eta * u - self.eta + 1) ** self.alpha)
+        ) % self.n
+
+
+class LatestGenerator:
+    """YCSB's 'latest' distribution: Zipfian over recency."""
+
+    def __init__(self, n: int, rng: random.Random = None) -> None:
+        self.rng = rng or random.Random(0)
+        self._max = n
+        self._zipf = ZipfianGenerator(max(1, n), rng=self.rng)
+
+    def set_max(self, n: int) -> None:
+        if n > self._max:
+            self._max = n
+            self._zipf = ZipfianGenerator(max(1, n), rng=self.rng)
+
+    def next(self) -> int:
+        return (self._max - 1) - self._zipf.next() % self._max
+
+
+class UniformGenerator:
+    def __init__(self, n: int, rng: random.Random = None) -> None:
+        self.n = n
+        self.rng = rng or random.Random(0)
+
+    def next(self) -> int:
+        return self.rng.randrange(self.n)

@@ -1,0 +1,173 @@
+"""ByteFS-specific behaviour: interface selection, variants, traffic.
+
+These tests verify the paper's §4.5/§4.6 policies end-to-end by checking
+which interface actually carried the bytes.
+"""
+
+import pytest
+
+from repro.core.bytefs import ByteFS, ByteFSVariant, bytefs_config
+from repro.fs.extfs import ExtFSConfig
+from repro.fs.vfs import O_CREAT, O_RDWR
+from repro.stats.traffic import Direction, Interface, StructKind
+from tests.conftest import make_stack
+
+
+def test_variant_flags():
+    full = bytefs_config(ByteFSVariant.FULL)
+    assert full.metadata_byte and full.fw_tx and full.data_byte_policy
+    log = bytefs_config(ByteFSVariant.LOG)
+    assert log.metadata_byte and log.fw_tx and not log.data_byte_policy
+    dual = bytefs_config(ByteFSVariant.DUAL)
+    assert dual.metadata_byte and not dual.fw_tx and not dual.data_byte_policy
+
+
+def test_metadata_goes_over_byte_interface():
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fs.mkdir("/d")
+    fd = fs.open("/d/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"x" * 4096)
+    fs.fsync(fd)
+    fs.close(fd)
+    meta_byte = st.metadata_bytes(Direction.WRITE, Interface.BYTE)
+    meta_block = st.metadata_bytes(Direction.WRITE, Interface.BLOCK)
+    assert meta_byte > 0
+    assert meta_block == 0  # no metadata block writes in steady state
+
+
+def test_small_overwrite_uses_byte_interface_for_data():
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    before_byte = st.data_bytes(Direction.WRITE, Interface.BYTE)
+    before_block = st.data_bytes(Direction.WRITE, Interface.BLOCK)
+    fs.pwrite(fd, 100, b"tiny")        # one dirty cacheline: R = 1/64
+    fs.fsync(fd)
+    assert st.data_bytes(Direction.WRITE, Interface.BYTE) > before_byte
+    assert st.data_bytes(Direction.WRITE, Interface.BLOCK) == before_block
+    fs.close(fd)
+
+
+def test_large_overwrite_uses_block_interface_for_data():
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    before_block = st.data_bytes(Direction.WRITE, Interface.BLOCK)
+    fs.pwrite(fd, 0, b"1" * 2048)      # R = 1/2 >= 1/8 -> block
+    fs.fsync(fd)
+    assert st.data_bytes(Direction.WRITE, Interface.BLOCK) > before_block
+    fs.close(fd)
+
+
+def test_threshold_boundary_exactly_one_eighth():
+    """R == 1/8 must take the block path (policy is R < 1/8 for byte)."""
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    before_block = st.data_bytes(Direction.WRITE, Interface.BLOCK)
+    fs.pwrite(fd, 0, b"1" * 512)       # exactly 8 of 64 lines
+    fs.fsync(fd)
+    assert st.data_bytes(Direction.WRITE, Interface.BLOCK) > before_block
+    fs.close(fd)
+
+
+def test_split_inode_update_touches_single_half():
+    """A size/mtime update persists 64 B (the lower half), not 128 B."""
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"z" * 100)
+    fs.fsync(fd)
+    st.reset()
+    fs.pwrite(fd, 0, b"z" * 64)  # overwrite: no allocation, lower half only
+    inode_bytes = st.host_ssd_bytes(
+        (StructKind.INODE,), Direction.WRITE, Interface.BYTE
+    )
+    assert inode_bytes == 64
+    fs.close(fd)
+
+
+def test_reads_always_use_block_interface():
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"q" * 8192)
+    fs.fsync(fd)
+    fs.close(fd)
+    # force cold caches
+    fs.page_cache.drop_all()
+    fs._inodes.clear()
+    fs._itable.clear()
+    st.reset()
+    fd = fs.open("/f", O_RDWR)
+    fs.pread(fd, 0, 8192)
+    fs.close(fd)
+    assert st.host_ssd_bytes(direction=Direction.READ, interface=Interface.BYTE) == 0
+    assert st.host_ssd_bytes(direction=Direction.READ, interface=Interface.BLOCK) > 0
+
+
+def test_dual_variant_runs_on_baseline_firmware():
+    _clk, _st, dev, fs = make_stack("bytefs-dual")
+    assert dev.config.firmware == "baseline"
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"dual")
+    fs.fsync(fd)
+    assert fs.pread(fd, 0, 4) == b"dual"
+    fs.close(fd)
+
+
+def test_fw_tx_requires_bytefs_firmware():
+    from repro.fs.errors import FSError
+    from tests.conftest import make_device
+
+    device = make_device("baseline")
+    with pytest.raises(FSError):
+        ByteFS(device, ByteFSVariant.FULL)
+
+
+def test_transaction_ids_monotonic():
+    _clk, _st, _dev, fs = make_stack("bytefs")
+    t1 = fs._txtable.begin()
+    t2 = fs._txtable.begin()
+    assert t2 == t1 + 1
+
+
+def test_cow_duplicate_pages_tracked():
+    _clk, _st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    fs.pwrite(fd, 0, b"1")
+    assert fs.page_cache.duplicate_pages() == 1
+    fs.fsync(fd)
+    assert fs.page_cache.duplicate_pages() == 0  # dropped after writeback
+    fs.close(fd)
+
+
+def test_bytefs_write_traffic_lower_than_ext4():
+    def traffic(fs_name):
+        _clk, st, _dev, fs = make_stack(fs_name)
+        fs.mkdir("/d")
+        for i in range(30):
+            fd = fs.open(f"/d/f{i}", O_CREAT | O_RDWR)
+            fs.write(fd, b"w" * 4096)
+            fs.fsync(fd)
+            fs.close(fd)
+        return st.host_ssd_bytes(direction=Direction.WRITE)
+
+    assert traffic("bytefs") < traffic("ext4") / 3
+
+
+def test_config_override_threshold():
+    cfg = ExtFSConfig(byte_ratio_threshold=1.0)  # byte path for any R
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fs.cfg.byte_ratio_threshold = 1.1
+    fd = fs.open("/f", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    before = st.data_bytes(Direction.WRITE, Interface.BYTE)
+    fs.pwrite(fd, 0, b"1" * 4096)
+    fs.fsync(fd)
+    assert st.data_bytes(Direction.WRITE, Interface.BYTE) > before
+    fs.close(fd)

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bytefs" in out
+    assert "varmail" in out
+    assert "ycsb-a" in out
+
+
+def test_run_micro(capsys):
+    assert main(["run", "--fs", "bytefs", "--workload", "mkdir"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "mkdir" in out
+
+
+def test_run_ycsb(capsys):
+    assert main(["run", "--fs", "ext4", "--workload", "ycsb-c"]) == 0
+    out = capsys.readouterr().out
+    assert "read" in out
+
+
+def test_compare(capsys):
+    assert main(
+        ["compare", "--workload", "create", "--systems", "ext4,bytefs"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "vs ext4" in out
+
+
+def test_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "nonsense"])
+
+
+def test_unknown_fs_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--fs", "ntfs"])

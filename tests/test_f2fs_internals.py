@@ -1,0 +1,96 @@
+"""F2FS-specific internals: checkpoints, segment cleaning, roll-forward."""
+
+import pytest
+
+from repro.fs.vfs import O_CREAT, O_RDWR
+from tests.conftest import make_stack
+
+
+def test_checkpoint_persists_nat_and_next_ino():
+    _clk, _st, device, fs = make_stack("f2fs")
+    fd = fs.open("/a", O_CREAT | O_RDWR)
+    fs.write(fd, b"x" * 1000)
+    fs.close(fd)
+    fs.sync()
+    v1 = fs._cp_version
+    ino_before = fs._next_ino
+    device.power_fail()
+    fs.crash()
+    fs.remount()
+    assert fs._cp_version >= v1
+    assert fs._next_ino >= ino_before
+    assert fs.exists("/a")
+
+
+def test_segment_cleaning_under_churn():
+    _clk, st, _dev, fs = make_stack("f2fs")
+    fd = fs.open("/churn", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * (64 * 4096))
+    fs.fsync(fd)
+    # Overwrite the same range until out-of-place writes exhaust the free
+    # segments and force cleaning (the device holds ~100 segments).
+    rounds = 220
+    for round_no in range(rounds):
+        fs.pwrite(fd, 0, bytes([round_no % 256]) * (32 * 4096))
+        fs.fsync(fd)
+    fs.close(fd)
+    assert st.counters.get("f2fs_segment_cleanings", 0) > 0
+    fd = fs.open("/churn", O_RDWR)
+    assert fs.pread(fd, 0, 10) == bytes([(rounds - 1) % 256]) * 10
+    assert fs.pread(fd, 40 * 4096, 4) == b"0000"
+    fs.close(fd)
+
+
+def test_roll_forward_reattaches_dentry_in_rolled_back_dir():
+    """The parent dir's dentry blocks roll back to the checkpoint; the
+    recovered node's parent/name footer restores the link."""
+    _clk, _st, device, fs = make_stack("f2fs")
+    fs.mkdir("/d")
+    fs.sync()
+    fd = fs.open("/d/fsynced", O_CREAT | O_RDWR)
+    fs.write(fd, b"F" * 500)
+    fs.fsync(fd)
+    fs.close(fd)
+    device.power_fail()
+    fs.crash()
+    rec = fs.remount()
+    assert rec["rolled_forward"] >= 1
+    assert fs.listdir("/d") == ["fsynced"]
+    fd = fs.open("/d/fsynced", O_RDWR)
+    assert fs.pread(fd, 0, 500) == b"F" * 500
+    fs.close(fd)
+
+
+def test_roll_forward_keeps_newest_version():
+    _clk, _st, device, fs = make_stack("f2fs")
+    fs.sync()
+    fd = fs.open("/v", O_CREAT | O_RDWR)
+    fs.write(fd, b"v1" * 100)
+    fs.fsync(fd)
+    fs.pwrite(fd, 0, b"v2" * 100)
+    fs.fsync(fd)
+    fs.close(fd)
+    device.power_fail()
+    fs.crash()
+    fs.remount()
+    fd = fs.open("/v", O_RDWR)
+    assert fs.pread(fd, 0, 4) == b"v2v2"
+    fs.close(fd)
+
+
+def test_rename_then_fsync_recovers_new_name():
+    _clk, _st, device, fs = make_stack("f2fs")
+    fs.sync()
+    fd = fs.open("/old", O_CREAT | O_RDWR)
+    fs.write(fd, b"n" * 100)
+    fs.fsync(fd)
+    fs.close(fd)
+    fs.rename("/old", "/new")
+    fd = fs.open("/new", O_RDWR)
+    fs.fsync(fd)  # re-marks the node with the new parent/name footer
+    fs.close(fd)
+    device.power_fail()
+    fs.crash()
+    fs.remount()
+    assert fs.exists("/new")
+    assert not fs.exists("/old")

@@ -1,0 +1,220 @@
+"""Unit, integration, and property tests for the LSM KV store."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kv.bloom import BloomFilter
+from repro.kv.db import KVConfig, KVStore
+from repro.kv.memtable import Memtable
+from repro.kv.sstable import SSTableReader, SSTableWriter
+from tests.conftest import make_stack
+
+
+@pytest.fixture
+def fs():
+    _clk, _st, _dev, fs = make_stack("bytefs")
+    return fs
+
+
+# --------------------------------------------------------------------- #
+# Bloom filter
+# --------------------------------------------------------------------- #
+
+
+def test_bloom_no_false_negatives():
+    keys = [f"key{i}".encode() for i in range(500)]
+    bloom = BloomFilter.build(keys)
+    assert all(k in bloom for k in keys)
+
+
+def test_bloom_false_positive_rate_bounded():
+    keys = [f"key{i}".encode() for i in range(1000)]
+    bloom = BloomFilter.build(keys, fp_rate=0.01)
+    fps = sum(
+        1 for i in range(1000) if f"other{i}".encode() in bloom
+    )
+    assert fps < 50  # 1% nominal, generous 5% bound
+
+
+def test_bloom_serialization_roundtrip():
+    bloom = BloomFilter.build([b"a", b"b", b"c"])
+    clone = BloomFilter.from_bytes(bloom.to_bytes())
+    assert b"a" in clone and b"b" in clone
+    assert clone.n_bits == bloom.n_bits
+
+
+# --------------------------------------------------------------------- #
+# Memtable
+# --------------------------------------------------------------------- #
+
+
+def test_memtable_put_get_tombstone():
+    mt = Memtable()
+    mt.put(b"k", b"v")
+    assert mt.get(b"k") == (True, b"v")
+    mt.put(b"k", None)
+    assert mt.get(b"k") == (True, None)
+    assert mt.get(b"other") == (False, None)
+
+
+def test_memtable_sorted_items():
+    mt = Memtable()
+    for k in [b"c", b"a", b"b"]:
+        mt.put(k, k)
+    assert [k for k, _ in mt.sorted_items()] == [b"a", b"b", b"c"]
+
+
+def test_memtable_size_tracking():
+    mt = Memtable()
+    mt.put(b"key", b"value")
+    s1 = mt.approximate_bytes()
+    mt.put(b"key", b"much longer value")
+    assert mt.approximate_bytes() > s1
+
+
+# --------------------------------------------------------------------- #
+# SSTable
+# --------------------------------------------------------------------- #
+
+
+def test_sstable_roundtrip(fs):
+    items = [(f"k{i:04d}".encode(), f"v{i}".encode()) for i in range(100)]
+    SSTableWriter.write(fs, "/sst0", items)
+    reader = SSTableReader(fs, "/sst0")
+    assert reader.n_records == 100
+    for k, v in items[::7]:
+        assert reader.get(k) == (True, v)
+    assert reader.get(b"k9999") == (False, None)
+    assert reader.min_key == b"k0000"
+    assert reader.max_key == b"k0099"
+
+
+def test_sstable_tombstones(fs):
+    items = [(b"alive", b"v"), (b"dead", None)]
+    SSTableWriter.write(fs, "/sst1", sorted(items))
+    reader = SSTableReader(fs, "/sst1")
+    assert reader.get(b"dead") == (True, None)
+    assert reader.get(b"alive") == (True, b"v")
+
+
+def test_sstable_items_ordered(fs):
+    items = sorted(
+        (f"x{i:03d}".encode(), b"v") for i in range(50)
+    )
+    SSTableWriter.write(fs, "/sst2", items)
+    reader = SSTableReader(fs, "/sst2")
+    assert [k for k, _ in reader.items()] == [k for k, _ in items]
+
+
+def test_sstable_empty_rejected(fs):
+    with pytest.raises(ValueError):
+        SSTableWriter.write(fs, "/sst3", [])
+
+
+# --------------------------------------------------------------------- #
+# KVStore
+# --------------------------------------------------------------------- #
+
+
+def test_kv_put_get_delete(fs):
+    db = KVStore(fs, config=KVConfig(memtable_bytes=4 << 10))
+    db.put(b"a", b"1")
+    db.put(b"b", b"2")
+    assert db.get(b"a") == b"1"
+    db.delete(b"a")
+    assert db.get(b"a") is None
+    assert db.get(b"b") == b"2"
+
+
+def test_kv_flush_and_read_from_sstable(fs):
+    db = KVStore(fs, config=KVConfig(memtable_bytes=256))
+    for i in range(100):
+        db.put(f"k{i:03d}".encode(), f"v{i}".encode())
+    assert db.flushes > 0
+    for i in range(100):
+        assert db.get(f"k{i:03d}".encode()) == f"v{i}".encode()
+
+
+def test_kv_compaction_reduces_tables(fs):
+    db = KVStore(
+        fs,
+        config=KVConfig(memtable_bytes=1 << 10, l0_compaction_trigger=3),
+    )
+    for i in range(300):
+        db.put(f"k{i % 40:03d}".encode(), bytes(60))
+    assert db.compactions > 0
+    assert len(db.l0) < 3
+    # newest value of an overwritten key wins across levels
+    db.put(b"k000", b"NEWEST")
+    assert db.get(b"k000") == b"NEWEST"
+
+
+def test_kv_scan_merges_levels(fs):
+    db = KVStore(fs, config=KVConfig(memtable_bytes=1 << 10))
+    for i in range(60):
+        db.put(f"s{i:03d}".encode(), f"{i}".encode())
+    db.delete(b"s010")
+    result = db.scan(b"s008", 5)
+    keys = [k for k, _ in result]
+    assert keys == [b"s008", b"s009", b"s011", b"s012", b"s013"]
+
+
+def test_kv_crash_recovery_replays_wal(fs):
+    _clk, _st, device, fs2 = make_stack("bytefs")
+    db = KVStore(fs2, config=KVConfig(memtable_bytes=64 << 10))
+    for i in range(30):
+        db.put(f"k{i}".encode(), f"v{i}".encode())
+    device.power_fail()
+    fs2.crash()
+    fs2.remount()
+    db2 = KVStore(fs2, root="/kv2")  # fresh store to prove isolation
+    db3 = object.__new__(KVStore)
+    db3.fs = fs2
+    db3.root = "/kv"
+    db3.cfg = KVConfig()
+    db3.memtable = None
+    db3.l0 = []
+    db3.l1 = []
+    db3._next_file = 0
+    db3._wal_fd = None
+    db3.flushes = 0
+    db3.compactions = 0
+    replayed = db3.reopen_after_crash()
+    assert replayed == 30
+    for i in range(30):
+        assert db3.get(f"k{i}".encode()) == f"v{i}".encode()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 30),
+            st.one_of(st.none(), st.binary(min_size=1, max_size=40)),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_kv_matches_dict_model(ops):
+    """Property: the LSM store behaves like a dict under put/delete/get,
+    across flushes and compactions."""
+    _clk, _st, _dev, fs = make_stack("bytefs")
+    db = KVStore(
+        fs, config=KVConfig(memtable_bytes=512, l0_compaction_trigger=2)
+    )
+    model = {}
+    for key_i, value in ops:
+        key = f"key{key_i:02d}".encode()
+        if value is None:
+            db.delete(key)
+            model.pop(key, None)
+        else:
+            db.put(key, value)
+            model[key] = value
+    for key_i in range(31):
+        key = f"key{key_i:02d}".encode()
+        assert db.get(key) == model.get(key)
+    assert db.scan(b"key00", 100) == sorted(model.items())

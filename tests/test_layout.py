@@ -1,0 +1,122 @@
+"""Unit and property tests for on-disk serialization codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import layout
+from repro.fs.layout import Extent, Inode, SuperblockLayout
+
+
+def test_superblock_roundtrip():
+    sb = SuperblockLayout.compute(10000, 4096)
+    raw = sb.encode(4096)
+    assert len(raw) == 4096
+    decoded = SuperblockLayout.decode(raw)
+    assert decoded == sb
+
+
+def test_superblock_bad_magic():
+    with pytest.raises(ValueError):
+        SuperblockLayout.decode(bytes(4096))
+
+
+def test_superblock_regions_do_not_overlap():
+    sb = SuperblockLayout.compute(50000, 4096)
+    assert 0 < sb.inode_bitmap_start
+    assert sb.inode_bitmap_start + sb.inode_bitmap_blocks <= sb.block_bitmap_start
+    assert sb.block_bitmap_start + sb.block_bitmap_blocks <= sb.itable_start
+    assert sb.itable_start + sb.itable_blocks <= sb.journal_start
+    assert sb.journal_start + sb.journal_blocks == sb.data_start
+    assert sb.data_start < sb.total_blocks
+
+
+def test_superblock_too_small_device():
+    with pytest.raises(ValueError):
+        SuperblockLayout.compute(16, 4096)
+
+
+def test_inode_halves_are_64_bytes():
+    inode = Inode(7, size=1234, links=2)
+    assert len(inode.encode_lower()) == 64
+    assert len(inode.encode_upper()) == 64
+    assert len(inode.encode()) == 128
+
+
+def test_inode_roundtrip_with_inline_extents():
+    inode = Inode(3, mode=layout.FT_FILE, links=1, size=99999, mtime=1.5)
+    inode.extents = [Extent(0, 100, 5), Extent(5, 300, 2)]
+    decoded, count = Inode.decode(3, inode.encode())
+    assert count == 2
+    assert decoded.size == 99999
+    assert decoded.mtime == 1.5
+    assert decoded.extents == inode.extents
+
+
+def test_inode_spilled_extent_count_reported():
+    inode = Inode(3)
+    inode.extents = [Extent(i, i * 10, 1) for i in range(5)]
+    inode.extent_block = 77
+    decoded, count = Inode.decode(3, inode.encode())
+    assert count == 5
+    assert decoded.extent_block == 77
+    assert len(decoded.extents) == layout.INLINE_EXTENTS  # inline only
+
+
+def test_extent_block_roundtrip():
+    extents = [Extent(i, i * 7, i + 1) for i in range(10)]
+    raw = layout.encode_extent_block(extents, 4096)
+    assert layout.decode_extent_block(raw, 10) == extents
+
+
+def test_dentry_roundtrip():
+    rec = layout.encode_dentry(42, layout.FT_FILE, "hello.txt")
+    assert len(rec) % 8 == 0
+    block = rec + bytes(4096 - len(rec))
+    entries = list(layout.decode_dentries(block))
+    assert entries == [(0, len(rec), 42, layout.FT_FILE, "hello.txt")]
+
+
+def test_dentry_tombstone_is_skippable():
+    rec1 = layout.encode_dentry(1, layout.FT_FILE, "a")
+    rec2 = layout.encode_dentry(2, layout.FT_FILE, "b")
+    block = bytearray(rec1 + rec2 + bytes(4096 - len(rec1) - len(rec2)))
+    block[0:4] = b"\x00\x00\x00\x00"  # tombstone rec1
+    entries = list(layout.decode_dentries(bytes(block)))
+    assert len(entries) == 2
+    assert entries[0][2] == 0            # tombstone visible as ino 0
+    assert entries[1][2:] == (2, layout.FT_FILE, "b")
+
+
+def test_dentry_name_length_limits():
+    with pytest.raises(ValueError):
+        layout.encode_dentry(1, layout.FT_FILE, "")
+    with pytest.raises(ValueError):
+        layout.encode_dentry(1, layout.FT_FILE, "x" * 300)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(1, 2**31), st.integers(0, 2**40), st.integers(1, 2**16),
+    st.floats(0, 1e12), st.integers(0, 2**15),
+)
+def test_inode_lower_roundtrip_property(ino, size, links, mtime, flags):
+    inode = Inode(ino, size=size, links=links % 65536, mtime=mtime,
+                  flags=flags)
+    decoded = Inode(ino)
+    decoded.decode_lower(inode.encode_lower())
+    assert decoded.size == size
+    assert decoded.links == links % 65536
+    assert decoded.mtime == mtime
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+               min_size=1, max_size=100),
+       st.integers(1, 2**31 - 1))
+def test_dentry_roundtrip_property(name, ino):
+    rec = layout.encode_dentry(ino, layout.FT_DIR, name)
+    block = rec + bytes(512)
+    (_, _, dec_ino, dec_type, dec_name), = list(
+        layout.decode_dentries(block)
+    )
+    assert (dec_ino, dec_type, dec_name) == (ino, layout.FT_DIR, name)

@@ -1,0 +1,64 @@
+"""Unit tests for the PCIe/CXL link model."""
+
+from repro.interconnect.link import HostLink
+from repro.nand.timing import TimingModel
+from repro.sim.clock import VirtualClock
+
+
+def make_link(timing=None):
+    clock = VirtualClock(1)
+    return HostLink(clock, timing or TimingModel()), clock
+
+
+def test_mmio_read_single_line_costs_full_latency():
+    link, clock = make_link()
+    link.mmio_read(64)
+    assert clock.now == 4800
+
+
+def test_mmio_read_bulk_overlaps_with_mlp():
+    link, clock = make_link()
+    link.mmio_read(64 * 16)  # 16 lines, MLP 8 -> 2 rounds
+    assert clock.now < 16 * 4800
+    assert clock.now >= 2 * 4800
+
+
+def test_mmio_write_posted_is_cheap():
+    link, clock = make_link()
+    link.mmio_write(64)
+    assert clock.now == 600
+
+
+def test_persist_barrier_costs_roundtrip():
+    link, clock = make_link()
+    link.mmio_write(64)
+    t = clock.now
+    link.persist_barrier(1)
+    assert clock.now >= t + 4800
+
+
+def test_dma_includes_command_overhead_and_bandwidth():
+    link, clock = make_link()
+    link.dma(4096, write=True)
+    assert clock.now >= 3000 + 4096 / 2.5
+    # second transfer queues behind the first
+    t = clock.now
+    link.dma(4096, write=True)
+    assert clock.now >= t
+
+
+def test_cxl_reads_much_faster():
+    link_pcie, clock_pcie = make_link()
+    link_cxl, clock_cxl = make_link(TimingModel().as_cxl())
+    link_pcie.mmio_read(4096)
+    link_cxl.mmio_read(4096)
+    assert clock_cxl.now < clock_pcie.now / 10
+
+
+def test_reset_clears_counters():
+    link, _clock = make_link()
+    link.mmio_read(64)
+    link.dma(100, write=False)
+    link.reset()
+    assert link.mmio_reads == 0
+    assert link.dma_transfers == 0

@@ -1,0 +1,91 @@
+"""Unit tests for the three-layer write-log index (Fig 3)."""
+
+import pytest
+
+from repro.ssd.firmware.log_index import ChunkEntry, LogIndex
+
+
+def entry(offset, length, seq, txid=None):
+    return ChunkEntry(
+        offset=offset, length=length, log_off=0, txid=txid, seq=seq,
+        data=bytes(length),
+    )
+
+
+def make_index():
+    # 1 MB address space, 4 KB pages, 64 KB partitions -> 16 pages/part
+    return LogIndex(1 << 20, 4096, partition_bytes=64 << 10)
+
+
+def test_insert_and_lookup():
+    idx = make_index()
+    idx.insert(5, entry(0, 64, 1))
+    node = idx.lookup(5)
+    assert node is not None
+    assert node.lpa == 5
+    assert len(node.chunks) == 1
+    assert idx.lookup(6) is None
+
+
+def test_chunk_list_ordered_by_offset():
+    idx = make_index()
+    idx.insert(1, entry(128, 64, 1))
+    idx.insert(1, entry(0, 64, 2))
+    idx.insert(1, entry(64, 64, 3))
+    offsets = [c.offset for c in idx.lookup(1).chunks]
+    assert offsets == [0, 64, 128]
+
+
+def test_pages_in_same_partition_share_skiplist():
+    idx = make_index()
+    idx.insert(0, entry(0, 64, 1))
+    idx.insert(15, entry(0, 64, 2))   # same 16-page partition
+    idx.insert(16, entry(0, 64, 3))   # next partition
+    assert len(idx._partitions) == 2
+
+
+def test_range_lookup_spans_partitions():
+    idx = make_index()
+    for lpa in (0, 10, 17, 40, 200):
+        idx.insert(lpa, entry(0, 64, lpa))
+    found = [n.lpa for n in idx.lookup_range(5, 41)]
+    assert found == [10, 17, 40]
+
+
+def test_remove_page():
+    idx = make_index()
+    idx.insert(3, entry(0, 64, 1))
+    idx.insert(3, entry(64, 64, 2))
+    node = idx.remove_page(3)
+    assert len(node.chunks) == 2
+    assert idx.lookup(3) is None
+    assert idx.n_chunks == 0
+
+
+def test_pages_iterated_in_lpa_order():
+    idx = make_index()
+    for lpa in (200, 5, 90, 17):
+        idx.insert(lpa, entry(0, 64, lpa))
+    assert [n.lpa for n in idx.pages()] == [5, 17, 90, 200]
+
+
+def test_memory_accounting_grows_with_chunks():
+    idx = make_index()
+    before = idx.memory_bytes()
+    for i in range(100):
+        idx.insert(i % 7, entry((i * 64) % 4096, 64, i))
+    assert idx.memory_bytes() > before
+    assert idx.n_chunks == 100
+
+
+def test_partition_must_be_page_aligned():
+    with pytest.raises(ValueError):
+        LogIndex(1 << 20, 4096, partition_bytes=1000)
+
+
+def test_clear():
+    idx = make_index()
+    idx.insert(1, entry(0, 64, 1))
+    idx.clear()
+    assert idx.n_chunks == 0
+    assert idx.lookup(1) is None

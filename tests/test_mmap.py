@@ -1,0 +1,109 @@
+"""Tests for memory-mapped I/O (§4.6) on the Ext4 family."""
+
+import pytest
+
+from repro.fs.errors import InvalidArgument
+from repro.fs.vfs import O_CREAT, O_RDWR
+from repro.stats.traffic import Direction, Interface
+from tests.conftest import make_stack
+
+
+@pytest.fixture(params=["ext4", "bytefs"])
+def stack(request):
+    return make_stack(request.param)
+
+
+def test_mmap_read_sees_file_content(stack):
+    _clk, _st, _dev, fs = stack
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"mapped content here")
+    fs.fsync(fd)
+    region = fs.mmap(fd)
+    assert region.load(0, 6) == b"mapped"
+    assert region.load(7, 7) == b"content"
+    region.close()
+    fs.close(fd)
+
+
+def test_mmap_store_visible_through_read_path(stack):
+    _clk, _st, _dev, fs = stack
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 8192)
+    fs.fsync(fd)
+    region = fs.mmap(fd)
+    region.store(4090, b"SPANNING")  # crosses a page boundary
+    assert region.load(4090, 8) == b"SPANNING"
+    region.msync()
+    assert fs.pread(fd, 4090, 8) == b"SPANNING"
+    region.close()
+    fs.close(fd)
+
+
+def test_msync_persists_across_crash():
+    _clk, _st, device, fs = make_stack("bytefs")
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"A" * 4096)
+    fs.fsync(fd)
+    region = fs.mmap(fd)
+    region.store(100, b"durable-mmap")
+    region.msync()
+    device.power_fail()
+    fs.crash()
+    fs.remount()
+    fd = fs.open("/m", O_RDWR)
+    assert fs.pread(fd, 100, 12) == b"durable-mmap"
+    fs.close(fd)
+
+
+def test_mmap_small_store_uses_byte_interface_on_bytefs():
+    _clk, st, _dev, fs = make_stack("bytefs")
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"0" * 4096)
+    fs.fsync(fd)
+    region = fs.mmap(fd)
+    before = st.data_bytes(Direction.WRITE, Interface.BYTE)
+    region.store(200, b"xy")
+    region.msync()
+    assert st.data_bytes(Direction.WRITE, Interface.BYTE) > before
+    region.close()
+    fs.close(fd)
+
+
+def test_mmap_bounds_checked(stack):
+    _clk, _st, _dev, fs = stack
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"x" * 100)
+    region = fs.mmap(fd)
+    with pytest.raises(InvalidArgument):
+        region.load(90, 20)
+    with pytest.raises(InvalidArgument):
+        region.store(101, b"y")
+    region.close()
+    with pytest.raises(InvalidArgument):
+        region.load(0, 1)
+
+
+def test_mmap_extends_beyond_eof_with_explicit_length(stack):
+    _clk, _st, _dev, fs = stack
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"x")
+    region = fs.mmap(fd, 0, 8192)
+    region.store(5000, b"grown")
+    region.msync()
+    assert fs.stat("/m").size >= 5005
+    assert fs.pread(fd, 5000, 5) == b"grown"
+    region.close()
+    fs.close(fd)
+
+
+def test_mmap_page_fault_counted(stack):
+    _clk, st, _dev, fs = stack
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, b"z" * 8192)
+    fs.fsync(fd)
+    fs.page_cache.drop_all()
+    region = fs.mmap(fd)
+    region.load(0, 8192)
+    assert st.counters.get("mmap_page_faults", 0) >= 2
+    region.close()
+    fs.close(fd)

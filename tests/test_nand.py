@@ -1,0 +1,130 @@
+"""Unit tests for flash geometry, timing, and the chip array."""
+
+import pytest
+
+from repro.nand.chip import FlashArray, FlashError
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel, FIG13_FLASH_LATENCIES
+
+
+@pytest.fixture
+def geo():
+    return FlashGeometry(
+        n_channels=2, ways_per_channel=2, blocks_per_way=4,
+        pages_per_block=8, page_size=512,
+    )
+
+
+def test_geometry_totals(geo):
+    assert geo.total_pages == 2 * 2 * 4 * 8
+    assert geo.total_blocks == 2 * 2 * 4
+    assert geo.capacity_bytes == geo.total_pages * 512
+    assert geo.block_size == 8 * 512
+
+
+def test_ppa_roundtrip(geo):
+    for ch in range(2):
+        for way in range(2):
+            for blk in range(4):
+                for pg in range(8):
+                    ppa = geo.ppa(ch, way, blk, pg)
+                    assert geo.unpack(ppa) == (ch, way, blk, pg)
+
+
+def test_ppa_dense_and_unique(geo):
+    seen = set()
+    for ch in range(2):
+        for way in range(2):
+            for blk in range(4):
+                for pg in range(8):
+                    seen.add(geo.ppa(ch, way, blk, pg))
+    assert seen == set(range(geo.total_pages))
+
+
+def test_block_id_mapping(geo):
+    ppa = geo.ppa(1, 1, 3, 7)
+    block_id = geo.block_id_of(ppa)
+    assert geo.block_base_ppa(block_id) <= ppa
+    assert geo.channel_of_block(block_id) == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        FlashGeometry(n_channels=0)
+    geo = FlashGeometry()
+    with pytest.raises(ValueError):
+        geo.unpack(geo.total_pages)
+
+
+def test_flash_read_unprogrammed_is_zeros(geo):
+    flash = FlashArray(geo)
+    assert flash.read_page(0) == bytes(512)
+
+
+def test_flash_program_and_read(geo):
+    flash = FlashArray(geo)
+    flash.program_page(5, b"hello")
+    data = flash.read_page(5)
+    assert data[:5] == b"hello"
+    assert len(data) == 512
+
+
+def test_flash_program_twice_without_erase_fails(geo):
+    flash = FlashArray(geo)
+    flash.program_page(5, b"a")
+    with pytest.raises(FlashError):
+        flash.program_page(5, b"b")
+
+
+def test_flash_erase_allows_reprogram(geo):
+    flash = FlashArray(geo)
+    flash.program_page(0, b"a")
+    flash.erase_block(0)
+    assert flash.read_page(0) == bytes(512)
+    flash.program_page(0, b"b")
+    assert flash.read_page(0)[:1] == b"b"
+
+
+def test_flash_wear_counting(geo):
+    flash = FlashArray(geo)
+    flash.erase_block(3)
+    flash.erase_block(3)
+    assert flash.wear(3) == 2
+    assert flash.wear(0) == 0
+
+
+def test_flash_oversize_program_rejected(geo):
+    flash = FlashArray(geo)
+    with pytest.raises(FlashError):
+        flash.program_page(0, bytes(513))
+
+
+def test_timing_defaults_match_paper_table4():
+    t = TimingModel()
+    assert t.flash_read_ns == 40_000
+    assert t.flash_write_ns == 60_000
+    assert t.mmio_read_ns == 4_800
+    assert t.mmio_write_ns == 600
+
+
+def test_timing_flash_latency_override():
+    t = TimingModel().with_flash_latency(3, 80)
+    assert t.flash_read_ns == 3_000
+    assert t.flash_write_ns == 80_000
+
+
+def test_timing_cxl_mode():
+    t = TimingModel().as_cxl()
+    assert t.mmio_read_ns == 175
+    assert t.mmio_write_ns == 175
+
+
+def test_dma_transfer_time_matches_bandwidth():
+    t = TimingModel()
+    # 2.5 GB/s write => 4096 bytes in ~1638 ns
+    assert abs(t.dma_transfer_ns(4096, write=True) - 4096 / 2.5) < 1
+    assert abs(t.dma_transfer_ns(4096, write=False) - 4096 / 3.5) < 1
+
+
+def test_fig13_grid_contains_default_point():
+    assert (40, 60) in FIG13_FLASH_LATENCIES

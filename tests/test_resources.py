@@ -1,0 +1,61 @@
+"""Unit tests for resource timelines (queueing model)."""
+
+from repro.sim.resources import ChannelArray, Pipeline, Resource
+
+
+def test_resource_serves_immediately_when_idle():
+    r = Resource("x")
+    assert r.serve(100, 50) == 150
+
+
+def test_resource_queues_behind_busy():
+    r = Resource("x")
+    r.serve(0, 100)
+    # arrives at t=10 but the resource is busy until 100
+    assert r.serve(10, 50) == 150
+
+
+def test_resource_idle_gap():
+    r = Resource("x")
+    r.serve(0, 10)
+    assert r.serve(100, 10) == 110
+
+
+def test_utilization():
+    r = Resource("x")
+    r.serve(0, 50)
+    assert r.utilization(100) == 0.5
+    assert r.utilization(0) == 0.0
+
+
+def test_channel_array_independent_channels():
+    ch = ChannelArray(2)
+    end0 = ch.serve(0, 0, 100)
+    end1 = ch.serve(1, 0, 100)
+    assert end0 == 100
+    assert end1 == 100  # parallel, not queued
+
+
+def test_channel_array_same_channel_queues():
+    ch = ChannelArray(2)
+    ch.serve(0, 0, 100)
+    assert ch.serve(0, 0, 100) == 200
+
+
+def test_earliest_free():
+    ch = ChannelArray(3)
+    ch.serve(0, 0, 100)
+    ch.serve(1, 0, 50)
+    assert ch.earliest_free() == 2
+
+
+def test_pipeline_overlaps_up_to_width():
+    p = Pipeline("p", 2)
+    ends = [p.serve(0, 100) for _ in range(4)]
+    # two lanes: finish times 100,100,200,200
+    assert sorted(ends) == [100, 100, 200, 200]
+
+
+def test_pipeline_width_one_is_serial():
+    p = Pipeline("p", 1)
+    assert [p.serve(0, 10) for _ in range(3)] == [10, 20, 30]

@@ -1,0 +1,84 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_single_thread_advance():
+    clk = VirtualClock(1)
+    assert clk.now == 0
+    clk.advance(100)
+    assert clk.now == 100
+    assert clk.elapsed_ns == 100
+
+
+def test_advance_to_never_goes_backwards():
+    clk = VirtualClock(1)
+    clk.advance(100)
+    clk.advance_to(50)
+    assert clk.now == 100
+    clk.advance_to(200)
+    assert clk.now == 200
+
+
+def test_negative_advance_rejected():
+    clk = VirtualClock(1)
+    with pytest.raises(ValueError):
+        clk.advance(-1)
+
+
+def test_per_thread_timelines_are_independent():
+    clk = VirtualClock(3)
+    clk.switch(0)
+    clk.advance(100)
+    clk.switch(1)
+    clk.advance(50)
+    assert clk.time_of(0) == 100
+    assert clk.time_of(1) == 50
+    assert clk.time_of(2) == 0
+    assert clk.elapsed_ns == 100
+
+
+def test_next_thread_picks_furthest_behind():
+    clk = VirtualClock(3)
+    clk.switch(0)
+    clk.advance(100)
+    clk.switch(2)
+    clk.advance(10)
+    assert clk.next_thread() == 1
+
+
+def test_sync_all_is_a_barrier():
+    clk = VirtualClock(2)
+    clk.switch(0)
+    clk.advance(500)
+    clk.sync_all()
+    assert clk.time_of(1) == 500
+
+
+def test_switch_out_of_range():
+    clk = VirtualClock(2)
+    with pytest.raises(IndexError):
+        clk.switch(5)
+
+
+def test_elapsed_tracks_maximum_ever_seen():
+    clk = VirtualClock(2)
+    clk.switch(1)
+    clk.advance(300)
+    clk.switch(0)
+    assert clk.elapsed_ns == 300
+
+
+def test_zero_threads_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(0)
+
+
+def test_reset():
+    clk = VirtualClock(2)
+    clk.advance(100)
+    clk.reset()
+    assert clk.now == 0
+    assert clk.elapsed_ns == 0

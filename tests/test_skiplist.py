@@ -1,0 +1,89 @@
+"""Unit and property tests for the firmware skip list."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ssd.firmware.skiplist import SkipList
+
+
+def test_insert_get_delete():
+    sl = SkipList()
+    sl.insert(5, "a")
+    sl.insert(3, "b")
+    sl.insert(9, "c")
+    assert sl.get(5) == "a"
+    assert sl.get(3) == "b"
+    assert sl.get(4) is None
+    assert len(sl) == 3
+    assert sl.delete(5)
+    assert not sl.delete(5)
+    assert sl.get(5) is None
+    assert len(sl) == 2
+
+
+def test_insert_replaces_value():
+    sl = SkipList()
+    sl.insert(1, "x")
+    sl.insert(1, "y")
+    assert sl.get(1) == "y"
+    assert len(sl) == 1
+
+
+def test_items_in_sorted_order():
+    sl = SkipList(random.Random(1))
+    keys = [9, 1, 7, 3, 5]
+    for k in keys:
+        sl.insert(k, k * 10)
+    assert [k for k, _v in sl.items()] == sorted(keys)
+
+
+def test_range_query():
+    sl = SkipList()
+    for k in range(0, 100, 10):
+        sl.insert(k, k)
+    assert [k for k, _ in sl.range(25, 65)] == [30, 40, 50, 60]
+    assert [k for k, _ in sl.range(30, 31)] == [30]
+    assert list(sl.range(200, 300)) == []
+
+
+def test_clear():
+    sl = SkipList()
+    for k in range(10):
+        sl.insert(k, k)
+    sl.clear()
+    assert len(sl) == 0
+    assert list(sl.items()) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers()), max_size=200))
+def test_skiplist_matches_dict_model(ops):
+    """Property: a skip list behaves exactly like a dict + sorted()."""
+    sl = SkipList(random.Random(7))
+    model = {}
+    for key, value in ops:
+        sl.insert(key, value)
+        model[key] = value
+    assert len(sl) == len(model)
+    assert list(sl.items()) == sorted(model.items())
+    for key in list(model)[::3]:
+        assert sl.delete(key)
+        del model[key]
+    assert list(sl.items()) == sorted(model.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(0, 500), max_size=100),
+    st.integers(0, 500),
+    st.integers(0, 500),
+)
+def test_skiplist_range_matches_model(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    sl = SkipList(random.Random(3))
+    for k in keys:
+        sl.insert(k, k)
+    assert [k for k, _v in sl.range(lo, hi)] == sorted(
+        k for k in keys if lo <= k < hi
+    )

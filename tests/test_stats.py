@@ -1,0 +1,97 @@
+"""Unit tests for traffic accounting."""
+
+import math
+
+import pytest
+
+from repro.stats.traffic import (
+    Direction,
+    Interface,
+    LatencyRecorder,
+    StructKind,
+    TrafficStats,
+)
+
+
+def test_record_and_query_by_filters():
+    st = TrafficStats()
+    st.record_host_ssd(StructKind.INODE, Direction.WRITE, Interface.BYTE, 64)
+    st.record_host_ssd(StructKind.DATA, Direction.WRITE, Interface.BLOCK, 4096)
+    st.record_host_ssd(StructKind.DATA, Direction.READ, Interface.BLOCK, 8192)
+    assert st.host_ssd_bytes(direction=Direction.WRITE) == 64 + 4096
+    assert st.host_ssd_bytes(interface=Interface.BYTE) == 64
+    assert st.metadata_bytes(Direction.WRITE) == 64
+    assert st.data_bytes(Direction.WRITE) == 4096
+
+
+def test_amplification():
+    st = TrafficStats()
+    st.record_app(Direction.WRITE, 1000)
+    st.record_host_ssd(StructKind.DATA, Direction.WRITE, Interface.BLOCK, 4000)
+    assert st.amplification(Direction.WRITE) == 4.0
+    assert math.isnan(st.amplification(Direction.READ))
+
+
+def test_breakdown_by_kind():
+    st = TrafficStats()
+    st.record_host_ssd(StructKind.INODE, Direction.WRITE, Interface.BYTE, 10)
+    st.record_host_ssd(StructKind.INODE, Direction.WRITE, Interface.BLOCK, 20)
+    st.record_host_ssd(StructKind.DENTRY, Direction.WRITE, Interface.BYTE, 5)
+    bd = st.breakdown(Direction.WRITE)
+    assert bd[StructKind.INODE] == 30
+    assert bd[StructKind.DENTRY] == 5
+
+
+def test_flash_traffic():
+    st = TrafficStats()
+    st.record_flash(StructKind.DATA, Direction.WRITE, 4096)
+    st.record_flash(StructKind.OTHER, Direction.READ, 4096)
+    assert st.flash_bytes(direction=Direction.WRITE) == 4096
+    assert st.flash_bytes() == 8192
+
+
+def test_negative_size_rejected():
+    st = TrafficStats()
+    with pytest.raises(ValueError):
+        st.record_host_ssd(
+            StructKind.DATA, Direction.WRITE, Interface.BLOCK, -1
+        )
+
+
+def test_metadata_kind_classification():
+    assert StructKind.INODE.is_metadata
+    assert StructKind.JOURNAL.is_metadata
+    assert not StructKind.DATA.is_metadata
+
+
+def test_counters():
+    st = TrafficStats()
+    st.bump("x")
+    st.bump("x", 4)
+    assert st.counters["x"] == 5
+
+
+def test_reset():
+    st = TrafficStats()
+    st.record_app(Direction.WRITE, 10)
+    st.bump("y")
+    st.reset()
+    assert st.app == {}
+    assert st.counters == {}
+
+
+def test_latency_recorder_percentiles():
+    rec = LatencyRecorder()
+    for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+        rec.record("op", v)
+    assert rec.mean("op") == 55
+    assert rec.percentile("op", 0) == 10
+    assert rec.percentile("op", 100) == 100
+    assert abs(rec.percentile("op", 50) - 55) < 1e-9
+    assert rec.count("op") == 10
+
+
+def test_latency_recorder_empty():
+    rec = LatencyRecorder()
+    assert math.isnan(rec.mean("nope"))
+    assert math.isnan(rec.percentile("nope", 95))
