@@ -6,6 +6,8 @@ Usage::
     python -m repro run --fs bytefs --workload varmail
     python -m repro run --fs ext4 --workload ycsb-a
     python -m repro compare --workload create
+    python -m repro crashsweep --fs bytefs --max-sites 100
+    python -m repro crashsweep --fs ext4 --site 42 --torn
 """
 
 from __future__ import annotations
@@ -86,6 +88,29 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_crashsweep(args) -> int:
+    from repro.faults import SweepConfig, run_crash, run_sweep
+
+    config = SweepConfig(
+        fs_name=args.fs,
+        seed=args.seed,
+        max_sites=args.max_sites,
+        torn=not args.no_torn,
+    )
+    if args.site is not None:
+        # Reproduce a single crash point (e.g. from a failing sweep).
+        result = run_crash(config, args.site, torn=args.torn)
+        print(result.describe())
+        return 0 if result.ok else 1
+    report = run_sweep(config)
+    print(report.summary())
+    for label, n in sorted(report.label_histogram.items()):
+        print(f"  {label:<24} {n}")
+    for failure in report.failures:
+        print(failure.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -108,8 +133,36 @@ def main(argv: Optional[list] = None) -> int:
     )
     cmp_p.add_argument("--baseline", default="ext4")
 
+    cs_p = sub.add_parser(
+        "crashsweep",
+        help="crash-point sweep with oracle-checked recovery",
+    )
+    cs_p.add_argument("--fs", default="bytefs", choices=sorted(FIRMWARE_FOR))
+    cs_p.add_argument("--seed", type=int, default=0)
+    cs_p.add_argument(
+        "--max-sites", type=int, default=None,
+        help="replay at most N sites (evenly spaced); default: all",
+    )
+    cs_p.add_argument(
+        "--no-torn", action="store_true",
+        help="skip torn-write variants during a sweep",
+    )
+    cs_p.add_argument(
+        "--site", type=int, default=None,
+        help="replay a single crash site instead of sweeping",
+    )
+    cs_p.add_argument(
+        "--torn", action="store_true",
+        help="with --site: inject the torn-write variant",
+    )
+
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "crashsweep": _cmd_crashsweep,
+    }
     return handlers[args.command](args)
 
 

@@ -78,6 +78,7 @@ def build_stack(
     log_bytes: Optional[int] = None,
     device_cache_bytes: Optional[int] = None,
     page_cache_pages: Optional[int] = None,
+    faults=None,
 ):
     """Build a (clock, stats, device, fs) tuple for one evaluated system.
 
@@ -104,7 +105,7 @@ def build_stack(
         cfg.baseline_fw = replace(
             cfg.baseline_fw, cache_bytes=device_cache_bytes
         )
-    device = MSSD(cfg, clock, stats)
+    device = MSSD(cfg, clock, stats, faults)
     if page_cache_pages is not None and fs_name in (
         "bytefs", "bytefs-log", "bytefs-dual", "ext4",
     ):

@@ -1,0 +1,51 @@
+"""Crash-point fault injection and oracle-checked crash consistency.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.injector` — numbered crash sites hooked into every
+  device-visible mutation (MMIO stores, NVMe block writes, ``COMMIT``,
+  firmware log appends and log-clean steps), with torn-write injection;
+* :mod:`repro.faults.oracle` — a trivially-correct in-memory oracle file
+  system that tracks the durable prefix (fsync barriers) and decides
+  whether a recovered file system is admissible;
+* :mod:`repro.faults.sweep` — the driver: enumerate every crash point a
+  workload reaches, then re-run the workload crashing at each point,
+  remount, and check the recovery against the oracle.
+
+See ``docs/FAULTS.md`` for the numbering scheme, the oracle semantics,
+and how to reproduce a single failing crash point.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    FiredCrash,
+)
+from repro.faults.oracle import OracleFS
+from repro.faults.sweep import (
+    CrashResult,
+    SweepConfig,
+    SweepReport,
+    enumerate_sites,
+    run_crash,
+    run_sweep,
+    standard_workload,
+)
+
+__all__ = [
+    "CrashPoint",
+    "CrashResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredCrash",
+    "NULL_INJECTOR",
+    "OracleFS",
+    "SweepConfig",
+    "SweepReport",
+    "enumerate_sites",
+    "run_crash",
+    "run_sweep",
+    "standard_workload",
+]

@@ -1,0 +1,247 @@
+"""Crash-site numbering and power-loss injection.
+
+Every device-visible mutation in the stack is guarded by a *crash site*:
+a call to :meth:`FaultInjector.site` (mutation with a payload) or
+:meth:`FaultInjector.point` (state step with no payload).  Sites are
+numbered in execution order, so a deterministic workload reaches the
+same sites with the same indices on every run.  A driver can therefore
+
+1. *enumerate* — run the workload once in counting mode and record every
+   site reached, then
+2. *replay* — re-run the workload with a :class:`FaultPlan` that fires a
+   simulated power loss at one chosen site, optionally persisting only a
+   torn prefix of the in-flight payload (partial 64 B log entry, partial
+   flash page / DMA sector).
+
+When a plan fires, :class:`CrashPoint` is raised.  It derives from
+``BaseException`` so file-system code cannot accidentally swallow it,
+and the injector goes *dead*: any further mutations reached while the
+stack unwinds (e.g. a ``finally:`` block trying to commit a transaction)
+are discarded, exactly as if the device had lost power.  The driver
+catches the exception, calls :meth:`FaultInjector.disarm`, and only then
+runs the crash/remount protocol — recovery-time writes apply normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.rng import make_rng
+
+
+class CrashPoint(BaseException):
+    """Simulated power loss at a numbered crash site.
+
+    Derives from ``BaseException`` so that broad ``except Exception``
+    handlers inside the file systems cannot swallow an injected crash.
+    """
+
+    def __init__(self, site: int, label: str, torn_bytes: int) -> None:
+        super().__init__(
+            f"power loss at crash site {site} ({label}"
+            + (f", torn after {torn_bytes} B)" if torn_bytes else ")")
+        )
+        self.site = site
+        self.label = label
+        self.torn_bytes = torn_bytes
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Crash at site ``crash_site``; if ``torn``, persist a partial
+    prefix of the payload (cut deterministically from ``seed``)."""
+
+    crash_site: int
+    torn: bool = False
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FiredCrash:
+    """Record of the crash a plan actually injected."""
+
+    site: int
+    label: str
+    torn_bytes: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """One crash site observed during an enumeration run."""
+
+    index: int
+    label: str
+    nbytes: int
+    atom: int
+
+    @property
+    def tearable(self) -> bool:
+        """Whether a torn-prefix variant exists at this site."""
+        return self.atom > 0 and self.nbytes > self.atom
+
+
+class FaultInjector:
+    """Numbered crash sites with optional torn-write power loss.
+
+    States:
+
+    * **off** (default) — ``site()`` applies the mutation and returns;
+      zero bookkeeping.  Every normal run uses this state.
+    * **counting** — sites are numbered and recorded; nothing fires.
+    * **armed** — sites are numbered; the planned site fires a crash.
+    * **dead** — after firing: mutations are discarded (power is off).
+
+    The *tearing* flag covers nested sites: applying a torn prefix may
+    itself reach inner crash sites (e.g. a torn MMIO store still goes
+    through the firmware log append).  Those inner mutations are part of
+    the prefix and must apply fully, without being numbered or fired.
+    """
+
+    def __init__(self, stats=None) -> None:
+        self.stats = stats
+        self.plan: Optional[FaultPlan] = None
+        self.active = False
+        self.n_sites = 0
+        self.trace: List[SiteRecord] = []
+        self.record_trace = False
+        self.fired: Optional[FiredCrash] = None
+        self._dead = False
+        self._tearing = False
+
+    # ------------------------------------------------------------------ #
+    # driver API
+    # ------------------------------------------------------------------ #
+
+    def start_count(self, record_trace: bool = True) -> None:
+        """Enter counting mode: number and record sites, never fire."""
+        self._reset()
+        self.active = True
+        self.record_trace = record_trace
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Enter armed mode: crash when ``plan.crash_site`` is reached."""
+        self._reset()
+        self.active = True
+        self.plan = plan
+
+    def disarm(self) -> None:
+        """Stop injecting and counting; mutations apply normally again.
+
+        Called by the driver after catching :class:`CrashPoint`, before
+        running the crash/remount protocol, so that recovery-time device
+        writes are not discarded.  ``fired`` and the counters survive
+        for inspection.
+        """
+        self.active = False
+        self.plan = None
+        self._dead = False
+        self._tearing = False
+
+    def _reset(self) -> None:
+        self.plan = None
+        self.n_sites = 0
+        self.trace = []
+        self.record_trace = False
+        self.fired = None
+        self._dead = False
+        self._tearing = False
+
+    # ------------------------------------------------------------------ #
+    # instrumentation API (called from the device stack)
+    # ------------------------------------------------------------------ #
+
+    def site(
+        self,
+        label: str,
+        apply: Optional[Callable[[int], None]] = None,
+        nbytes: int = 0,
+        atom: int = 0,
+    ) -> None:
+        """One device-visible mutation of ``nbytes`` payload bytes.
+
+        ``apply(k)`` persists the first ``k`` bytes of the payload;
+        ``apply(nbytes)`` is the full mutation.  ``atom`` is the
+        power-loss atomicity granule of the transport (64 B cachelines
+        for MMIO stores, 512 B sectors for DMA, 8 B words for firmware
+        log entries); torn prefixes are cut at multiples of it.  With
+        ``atom == 0`` (or ``nbytes <= atom``) the mutation is
+        all-or-nothing.
+        """
+        if self._dead:
+            return  # power is off: the mutation is lost
+        if self._tearing or not self.active:
+            if apply is not None:
+                apply(nbytes)
+            return
+        idx = self.n_sites
+        self.n_sites += 1
+        if self.record_trace:
+            self.trace.append(SiteRecord(idx, label, nbytes, atom))
+        if self.stats is not None:
+            self.stats.bump_fault("fault_sites_reached")
+        plan = self.plan
+        if plan is not None and idx == plan.crash_site:
+            torn_bytes = 0
+            if plan.torn and apply is not None and atom > 0 and nbytes > atom:
+                rng = make_rng(plan.seed, f"torn:{idx}:{label}")
+                ncuts = (nbytes + atom - 1) // atom  # ceil
+                torn_bytes = atom * rng.randrange(1, ncuts)
+            self.fired = FiredCrash(idx, label, torn_bytes, nbytes)
+            if self.stats is not None:
+                self.stats.bump_fault("fault_crashes_injected")
+                if torn_bytes:
+                    self.stats.bump_fault("fault_torn_injected")
+            if torn_bytes and apply is not None:
+                self._tearing = True
+                try:
+                    apply(torn_bytes)
+                finally:
+                    self._tearing = False
+            self._dead = True
+            raise CrashPoint(idx, label, torn_bytes)
+        if apply is not None:
+            apply(nbytes)
+
+    def point(self, label: str) -> None:
+        """A crash site between steps, with no in-flight payload."""
+        self.site(label)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def label_histogram(self) -> dict:
+        """Site count per label (requires a recorded trace)."""
+        out: dict = {}
+        for rec in self.trace:
+            out[rec.label] = out.get(rec.label, 0) + 1
+        return out
+
+
+class _NullInjector(FaultInjector):
+    """Shared always-off injector: the default for every stack.
+
+    It is a process-wide singleton, so arming it would leak injection
+    into unrelated stacks — hence the guards.
+    """
+
+    def start_count(self, record_trace: bool = True) -> None:
+        raise RuntimeError(
+            "cannot arm the shared null injector; build the stack with "
+            "an explicit FaultInjector instead"
+        )
+
+    arm = start_count  # type: ignore[assignment]
+
+    def site(self, label, apply=None, nbytes=0, atom=0):  # type: ignore[override]
+        if apply is not None:
+            apply(nbytes)
+
+    def point(self, label):  # type: ignore[override]
+        pass
+
+
+#: Always-off injector shared by stacks built without fault injection.
+NULL_INJECTOR = _NullInjector()

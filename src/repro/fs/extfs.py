@@ -154,6 +154,11 @@ class ExtFS(BaseFileSystem):
         self._ino_tx_updates: Dict[int, int] = {}
         self._ns_tx: Optional[int] = None
         self._ns_ops = 0
+        #: freed blocks awaiting TRIM, keyed by the transaction whose
+        #: commit makes the free durable (None = the jbd2 running tx).
+        #: Issuing TRIM before that commit would destroy data that the
+        #: still-durable metadata references if we crash in between.
+        self._pending_trims: Dict[Optional[int], Set[int]] = {}
         self._txtable = TxTable()
         self._alloc_cursor = 0
         self.jbd2: Optional[JBD2] = None
@@ -241,9 +246,11 @@ class ExtFS(BaseFileSystem):
 
     def _commit_ns_tx(self) -> None:
         if self._ns_tx is not None:
-            self.device.commit(self._ns_tx)
-            self._txtable.finish(self._ns_tx)
+            txid = self._ns_tx
+            self.device.commit(txid)
+            self._txtable.finish(txid)
             self._ns_tx = None
+            self._flush_trims(txid)
         self._ns_ops = 0
 
     def _periodic_commit(self) -> None:
@@ -256,6 +263,7 @@ class ExtFS(BaseFileSystem):
             and self.jbd2.has_running()
         ):
             self.jbd2.commit()
+            self._flush_trims(None)
             self._ops_since_commit = 0
 
     def _inode_tx(self, ino: int) -> Optional[int]:
@@ -276,6 +284,7 @@ class ExtFS(BaseFileSystem):
         if txid is not None:
             self.device.commit(txid)
             self._txtable.finish(txid)
+            self._flush_trims(txid)
 
     # ------------------------------------------------------------------ #
     # metadata persistence primitives
@@ -485,6 +494,9 @@ class ExtFS(BaseFileSystem):
             for b in range(ext.start, ext.start + ext.length):
                 self._set_block(b, True)
                 groups_touched.add(b // (64 * 8))
+                # A reused block must not be trimmed by an older free.
+                for queue in self._pending_trims.values():
+                    queue.discard(b)
         for g in sorted(groups_touched):
             self._persist_bitmap_bit(False, g * 64 * 8)
         last = out[-1]
@@ -495,14 +507,24 @@ class ExtFS(BaseFileSystem):
 
     def _free_extent(self, ext: Extent) -> None:
         groups: Set[int] = set()
+        trim_key = self._cur_tx if self.cfg.fw_tx else None
+        queue = self._pending_trims.setdefault(trim_key, set())
         for b in range(ext.start, ext.start + ext.length):
             self._set_block(b, False)
             groups.add(b // (64 * 8))
-            self.device.trim(b)
+            queue.add(b)
             if self.jbd2 is not None:
                 self.jbd2.forget(b)
         for g in groups:
             self._persist_bitmap_bit(False, g * 64 * 8)
+
+    def _flush_trims(self, trim_key: Optional[int]) -> None:
+        """Issue the TRIMs deferred behind ``trim_key``'s commit
+        (discard-after-commit, like Ext4's ``-o discard``)."""
+        blocks = self._pending_trims.pop(trim_key, None)
+        if blocks:
+            for b in sorted(blocks):
+                self.device.trim(b)
 
     # ------------------------------------------------------------------ #
     # file extents
@@ -1034,6 +1056,7 @@ class ExtFS(BaseFileSystem):
             # fdatasync commits too: size/mtime updates ride the same
             # running transaction in this implementation.
             self.jbd2.commit()
+            self._flush_trims(None)
         self._op_barrier()
 
     def _sync(self) -> None:
@@ -1055,6 +1078,7 @@ class ExtFS(BaseFileSystem):
                 self._commit_inode_tx(ino)
         elif self.jbd2 is not None:
             self.jbd2.commit()
+            self._flush_trims(None)
         self._op_barrier()
 
     def _truncate(self, ino: int, size: int) -> None:

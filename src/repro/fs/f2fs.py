@@ -137,20 +137,29 @@ class F2FS(BaseFileSystem):
         self._dirty_since_cp = 0
         self._cp_version = 0
         self._node_seq = 0
+        # Node ids whose NAT entry is covered by the last durable
+        # checkpoint, and nodes fsync-marked since then (recoverable by
+        # roll-forward without another checkpoint).
+        self._cp_nids: Set[int] = set()
+        self._fsynced_since_cp: Set[int] = set()
         self._writing_fsync_node = False
         self._cleaning = False
 
     def mkfs(self) -> None:
         total = self.device.capacity_blocks
         nat_blocks = max(1, total // (self.P // _PTR_BYTES) // 4)
-        n_segments = (total - 3 - nat_blocks - 8) // _SEGMENT_BLOCKS
+        n_segments = (total - 3 - 2 * nat_blocks - 8) // _SEGMENT_BLOCKS
         sit_blocks = max(1, -(-n_segments // (self.P // 8)))
+        # NAT and SIT are ping-ponged (two copies each): a checkpoint
+        # writes the *inactive* copy and only then the CP block that
+        # names it, so a crash mid-checkpoint always leaves the previous
+        # copy intact (real F2FS's two checkpoint packs).
         self._cp_start = 1
         self._nat_start = 3
         self._nat_blocks = nat_blocks
-        self._sit_start = 3 + nat_blocks
+        self._sit_start = 3 + 2 * nat_blocks
         self._sit_blocks = sit_blocks
-        self._main_start = self._sit_start + sit_blocks
+        self._main_start = self._sit_start + 2 * sit_blocks
         self._n_segments = (total - self._main_start) // _SEGMENT_BLOCKS
         sb = struct.pack(
             _SB_FMT,
@@ -190,6 +199,12 @@ class F2FS(BaseFileSystem):
         self._n_segments = (total - main_s) // _SEGMENT_BLOCKS
         self._load_checkpoint()
 
+    def _nat_copy_start(self, version: int) -> int:
+        return self._nat_start + (version % 2) * self._nat_blocks
+
+    def _sit_copy_start(self, version: int) -> int:
+        return self._sit_start + (version % 2) * self._sit_blocks
+
     # ------------------------------------------------------------------ #
     # checkpointing (NAT + SIT + CP pack)
     # ------------------------------------------------------------------ #
@@ -207,15 +222,18 @@ class F2FS(BaseFileSystem):
                 raise NoSpace("NAT overflow")
             struct.pack_into("<II", nat_img, off, node_id, blk)
             off += 8
+        # Write the copies the *next* CP version names; the active
+        # copies stay intact until the CP block lands.
+        version = self._cp_version + 1
         self.device.write_blocks(
-            self._nat_start, bytes(nat_img), StructKind.DATA_PTR
+            self._nat_copy_start(version), bytes(nat_img), StructKind.DATA_PTR
         )
         # SIT: valid count per segment (2 B each).
         sit_img = bytearray(self._sit_blocks * self.P)
         for seg, valid in self._sit_valid.items():
             struct.pack_into("<H", sit_img, seg * 2, valid)
         self.device.write_blocks(
-            self._sit_start, bytes(sit_img), StructKind.BITMAP
+            self._sit_copy_start(version), bytes(sit_img), StructKind.BITMAP
         )
         self._cp_version += 1
         cp = struct.pack(
@@ -232,6 +250,8 @@ class F2FS(BaseFileSystem):
         self._seg_free.extend(self._pending_free_segs)
         self._pending_free_segs.clear()
         self._dirty_since_cp = 0
+        self._cp_nids = set(self._nat)
+        self._fsynced_since_cp.clear()
 
     def _load_checkpoint(self) -> None:
         best_version = 0
@@ -245,7 +265,9 @@ class F2FS(BaseFileSystem):
         self._cp_version = best_version
         self._next_ino = best_next_ino
         nat_img = self.device.read_blocks(
-            self._nat_start, self._nat_blocks, StructKind.DATA_PTR
+            self._nat_copy_start(best_version),
+            self._nat_blocks,
+            StructKind.DATA_PTR,
         )
         (count,) = struct.unpack_from("<I", nat_img, 0)
         self._nat = {}
@@ -255,7 +277,9 @@ class F2FS(BaseFileSystem):
             self._nat[node_id] = blk
             off += 8
         sit_img = self.device.read_blocks(
-            self._sit_start, self._sit_blocks, StructKind.BITMAP
+            self._sit_copy_start(best_version),
+            self._sit_blocks,
+            StructKind.BITMAP,
         )
         self._sit_valid = {}
         used_segs: Set[int] = set()
@@ -268,6 +292,8 @@ class F2FS(BaseFileSystem):
             s for s in range(self._n_segments) if s not in used_segs
         ]
         self._node_block_of = {blk: nid for nid, blk in self._nat.items()}
+        self._cp_nids = set(self._nat)
+        self._fsynced_since_cp = set()
         self._active_node_seg = None
         self._active_data_seg = None
 
@@ -777,19 +803,22 @@ class F2FS(BaseFileSystem):
         for pidx in [p for p in space.pages if p >= keep]:
             space.drop(pidx)
         # Zero the partial tail page so extension reads zeros (POSIX).
+        # The tail may live only in the page cache (blocks are allocated
+        # lazily at flush time), so the check must not require a block.
         poff = size % self.P
-        if poff and keep - 1 < len(node.ptrs) and node.ptrs[keep - 1]:
+        if poff:
             pidx = keep - 1
             page = self.page_cache.lookup(ino, pidx)
-            if page is None:
+            if page is None and pidx < len(node.ptrs) and node.ptrs[pidx]:
                 data = self.device.read_blocks(
                     node.ptrs[pidx], 1, StructKind.DATA
                 )
                 page = self.page_cache.install(
                     ino, pidx, data, self._evict_writeback
                 )
-            self.page_cache.mark_dirty(ino, pidx, cow=False)
-            page.data[poff:] = bytes(self.P - poff)
+            if page is not None:
+                self.page_cache.mark_dirty(ino, pidx, cow=False)
+                page.data[poff:] = bytes(self.P - poff)
         node.size = size
         node.mtime = self.clock.now
         self._write_node(node)
@@ -797,8 +826,30 @@ class F2FS(BaseFileSystem):
     def _fsync(self, ino: int, data_only: bool) -> None:
         node = self._get_node(ino)
         self._flush_pages(ino)
-        if node.dirty:
+        # Roll-forward recovery reattaches this node through its
+        # parent/name footer, which only works if the parent itself is
+        # reachable from the checkpointed NAT.  Real F2FS falls back to
+        # a full checkpoint in that case (need_do_checkpoint(): parent
+        # i_pino not checkpointed).
+        parent_cp = (
+            node.parent == 0
+            or node.parent in self._cp_nids
+            or node.parent in self._fsynced_since_cp
+        )
+        if not parent_cp:
+            if node.dirty:
+                self._write_node(node)
+            self.checkpoint()
+            return
+        # A clean node can still be unrecoverable: its latest image may
+        # have been written without the fsync mark and its NAT entry not
+        # yet checkpointed, so roll-forward would skip it.
+        recoverable = (
+            ino in self._cp_nids or ino in self._fsynced_since_cp
+        )
+        if node.dirty or not recoverable:
             self._write_node(node, fsync=True)
+            self._fsynced_since_cp.add(ino)
 
     def _sync(self) -> None:
         for ino, pidx, page in self.page_cache.all_dirty():

@@ -38,6 +38,8 @@ from repro.stats.traffic import StructKind
 
 _SB_MAGIC = 0x0A04A001
 _SB_FMT = "<IIQQQ"
+_NJ_MAGIC = 0x0A04A10E
+_NJ_HDR = "<IH"             # magic, active record count
 _INODE_FMT = "<HHHHQdIII"   # valid, mode, links, pad, size, mtime,
                             # log_head, log_tail_page, log_tail_off
 _INODE_BYTES = 64
@@ -94,13 +96,17 @@ class NovaFS(BaseFileSystem):
         self.n_inodes = n_inodes
         self._itable_start = 1
         self._itable_pages = -(-n_inodes * _INODE_BYTES // self.P)
-        self._data_start = self._itable_start + self._itable_pages
+        # One page of lite journal between the inode table and data.
+        self._journal_page = self._itable_start + self._itable_pages
+        self._data_start = self._journal_page + 1
         self._inodes: Dict[int, _MemInode] = {}
         self._dirs: Dict[int, Dict[str, Tuple[int, int]]] = {}
         self._free_cursor = self._data_start
         self._free_pages: List[int] = []
         self._used_pages: Set[int] = set()
         self._next_ino = 2
+        self._journal_active = False
+        self._pending_frees: Set[int] = set()
         if format_device:
             self.mkfs()
         else:
@@ -121,7 +127,7 @@ class NovaFS(BaseFileSystem):
         # Zero the inode table region (block interface at mkfs time only).
         self.device.write_blocks(
             self._itable_start,
-            bytes(self._itable_pages * self.P),
+            bytes((self._itable_pages + 1) * self.P),
             StructKind.INODE,
         )
         root = _MemInode(1, FT_DIR)
@@ -140,13 +146,19 @@ class NovaFS(BaseFileSystem):
         self.n_inodes = n_inodes
         self._itable_start = itable
         self._data_start = data_start
-        self._itable_pages = data_start - itable
+        self._journal_page = data_start - 1
+        self._itable_pages = self._journal_page - itable
         self._inodes = {}
         self._dirs = {}
         self._used_pages = set()
         self._free_pages = []
         self._free_cursor = self._data_start
         self._next_ino = 2
+        self._journal_active = False
+        self._pending_frees = set()
+        # Undo any interrupted multi-inode update before trusting the
+        # inode table (NOVA's lite-journal recovery).
+        self._lite_journal_rollback()
         # Rebuild DRAM state by scanning the inode table and walking every
         # valid inode's log (NOVA's recovery scan).
         for ino in range(1, self.n_inodes):
@@ -183,6 +195,62 @@ class NovaFS(BaseFileSystem):
     def _invalidate_inode_entry(self, ino: int) -> None:
         self.device.store(self._inode_addr(ino), b"\x00\x00", StructKind.INODE)
 
+    # ------------------------------------------------------------------ #
+    # lite journal (NOVA's mechanism for atomic multi-inode updates,
+    # e.g. cross-directory rename): snapshot the affected 64 B inode
+    # table entries, mutate, then clear.  Log appends past a persisted
+    # tail are invisible, so rolling the entries back undoes everything.
+    # ------------------------------------------------------------------ #
+
+    def _lite_journal_begin(self, inos: List[int]) -> None:
+        base = self._journal_page * self.P
+        for i, ino in enumerate(inos):
+            addr = self._inode_addr(ino)
+            old = self.device.load(addr, _INODE_BYTES, StructKind.JOURNAL)
+            self.device.store(
+                base + 64 + 72 * i,
+                struct.pack("<Q", addr) + old,
+                StructKind.JOURNAL,
+            )
+        # Records first, header (one cacheline, atomic) second.
+        self.device.store(
+            base, struct.pack(_NJ_HDR, _NJ_MAGIC, len(inos)),
+            StructKind.JOURNAL,
+        )
+        self._journal_active = True
+
+    def _lite_journal_commit(self) -> None:
+        self.device.store(
+            self._journal_page * self.P,
+            struct.pack(_NJ_HDR, _NJ_MAGIC, 0),
+            StructKind.JOURNAL,
+        )
+        self._journal_active = False
+        for page in sorted(self._pending_frees):
+            self._used_pages.discard(page)
+            self._free_pages.append(page)
+            self.device.trim(page)
+        self._pending_frees.clear()
+
+    def _lite_journal_rollback(self) -> None:
+        base = self._journal_page * self.P
+        raw = self.device.load(
+            base, struct.calcsize(_NJ_HDR), StructKind.JOURNAL
+        )
+        magic, count = struct.unpack(_NJ_HDR, raw)
+        if magic != _NJ_MAGIC or count == 0:
+            return
+        for i in reversed(range(count)):
+            rec = self.device.load(
+                base + 64 + 72 * i, 72, StructKind.JOURNAL
+            )
+            (addr,) = struct.unpack_from("<Q", rec)
+            self.device.store(addr, rec[8:], StructKind.INODE)
+        self.device.store(
+            base, struct.pack(_NJ_HDR, _NJ_MAGIC, 0), StructKind.JOURNAL
+        )
+        self.stats.bump("nova_journal_rollbacks")
+
     def _load_inode_entry(self, ino: int) -> Optional[_MemInode]:
         raw = self.device.load(self._inode_addr(ino), _INODE_BYTES, StructKind.INODE)
         valid, mode, links, _pad, size, mtime, head, tpage, toff = (
@@ -215,20 +283,37 @@ class NovaFS(BaseFileSystem):
         return page
 
     def _free_page(self, page: int) -> None:
-        if page in self._used_pages:
-            self._used_pages.discard(page)
-            self._free_pages.append(page)
-            self.device.trim(page)
+        if page not in self._used_pages:
+            return
+        if self._journal_active:
+            # A rollback may resurrect references to this page, so it
+            # must stay allocated and untrimmed until the journal
+            # commits (keeping it out of _free_pages also stops the
+            # journaled update itself from recycling it).
+            self._pending_frees.add(page)
+            return
+        self._used_pages.discard(page)
+        self._free_pages.append(page)
+        self.device.trim(page)
 
     # ------------------------------------------------------------------ #
     # per-inode logs
     # ------------------------------------------------------------------ #
 
     def _append_entry(
-        self, inode: _MemInode, payload: bytes, kind: StructKind
+        self,
+        inode: _MemInode,
+        payload: bytes,
+        kind: StructKind,
+        persist_tail: bool = True,
     ) -> None:
         """Append one log entry and persist the new tail (out-of-place
-        metadata update: entry store + tail store, each durable)."""
+        metadata update: entry store + tail store, each durable).
+
+        With ``persist_tail=False`` the entry is written but stays
+        invisible until the caller persists the inode entry — the hook
+        the lite journal uses to make multi-log updates atomic.
+        """
         size = len(payload)
         if size > _LOG_PAGE_DATA:
             raise FSError("log entry too large")
@@ -252,7 +337,8 @@ class NovaFS(BaseFileSystem):
         addr = inode.log_tail_page * self.P + inode.log_tail_off
         self.device.store(addr, payload, kind)
         inode.log_tail_off += size
-        self._persist_tail(inode)
+        if persist_tail:
+            self._persist_tail(inode)
 
     def _iter_log(self, inode: _MemInode):
         """Yield (type, payload bytes) for every entry in the inode's log,
@@ -393,14 +479,18 @@ class NovaFS(BaseFileSystem):
         entries[name] = (ino, ftype)
         return ino
 
-    def _remove_dentry(self, dir_ino: int, name: str) -> None:
+    def _remove_dentry(
+        self, dir_ino: int, name: str, persist_tail: bool = True
+    ) -> None:
         parent = self._get_inode(dir_ino)
         raw_name = name.encode()
         payload = struct.pack(
             "<HHH", _E_DDEL, _align8(6 + len(raw_name)), len(raw_name)
         ) + raw_name
         payload += bytes(_align8(6 + len(raw_name)) - len(payload))
-        self._append_entry(parent, payload, StructKind.DENTRY)
+        self._append_entry(
+            parent, payload, StructKind.DENTRY, persist_tail=persist_tail
+        )
         self._dir_entries(dir_ino).pop(name, None)
 
     def _remove_file(self, dir_ino: int, name: str, ino: int) -> None:
@@ -434,27 +524,43 @@ class NovaFS(BaseFileSystem):
         ino, ftype = entries[src_name]
         dst_entries = self._dir_entries(dst_dir)
         existing = dst_entries.get(dst_name)
+        if existing is not None and self._get_inode(existing[0]).is_dir:
+            raise FileExists(dst_name)
+        src_parent = self._get_inode(src_dir)
+        dst_parent = self._get_inode(dst_dir)
+        # Lite-journal every inode entry this update touches, then
+        # append to both dir logs with the tails held back: nothing is
+        # visible until both entries are persisted and the journal
+        # cleared, so a crash anywhere rolls the whole rename back.
+        inos = [src_dir]
+        if dst_dir != src_dir:
+            inos.append(dst_dir)
+        if existing is not None:
+            inos.append(existing[0])
+        self._lite_journal_begin(inos)
         if existing is not None:
             target = self._get_inode(existing[0])
-            if target.is_dir:
-                raise FileExists(dst_name)
             target.links -= 1
             if target.links <= 0:
                 self._release(target)
             else:
                 self._persist_inode_entry(target)
-            self._remove_dentry(dst_dir, dst_name)
-        self._remove_dentry(src_dir, src_name)
-        # add to destination
-        parent = self._get_inode(dst_dir)
+            self._remove_dentry(dst_dir, dst_name, persist_tail=False)
+        self._remove_dentry(src_dir, src_name, persist_tail=False)
         raw_name = dst_name.encode()
         payload = struct.pack(
             "<HHIHH", _E_DADD, _align8(12 + len(raw_name)), ino, ftype,
             len(raw_name),
         ) + raw_name
         payload += bytes(_align8(12 + len(raw_name)) - len(payload))
-        self._append_entry(parent, payload, StructKind.DENTRY)
+        self._append_entry(
+            dst_parent, payload, StructKind.DENTRY, persist_tail=False
+        )
         dst_entries[dst_name] = (ino, ftype)
+        self._persist_inode_entry(src_parent)
+        if dst_dir != src_dir:
+            self._persist_inode_entry(dst_parent)
+        self._lite_journal_commit()
 
     def _readdir(self, ino: int) -> List[str]:
         return sorted(self._dir_entries(ino))
@@ -551,8 +657,8 @@ class NovaFS(BaseFileSystem):
     def _truncate(self, ino: int, size: int) -> None:
         inode = self._get_inode(ino)
         keep = -(-size // self.P)
-        for pidx in [p for p in inode.pages if p >= keep]:
-            self._free_page(inode.pages.pop(pidx))
+        inode.size = size
+        inode.mtime = self.clock.now
         # Zero the partial tail of the last page (CoW to a fresh page).
         poff = size % self.P
         last = inode.pages.get(keep - 1) if poff else None
@@ -570,11 +676,15 @@ class NovaFS(BaseFileSystem):
             payload += struct.pack("<I", new_page)
             payload += bytes(elen - len(payload))
             self._append_entry(inode, payload, StructKind.DATA_PTR)
-            self._free_page(last)
             inode.pages[keep - 1] = new_page
-        inode.size = size
-        inode.mtime = self.clock.now
+        # New size durable first; only then drop (and trim) the tail
+        # pages, or a crash in between zeroes data the old size still
+        # covers.
         self._persist_inode_entry(inode)
+        if last is not None:
+            self._free_page(last)
+        for pidx in [p for p in inode.pages if p >= keep]:
+            self._free_page(inode.pages.pop(pidx))
 
     def _fsync(self, ino: int, data_only: bool) -> None:
         # NOVA writes are durable at completion; fsync is a no-op.

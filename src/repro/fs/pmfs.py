@@ -24,6 +24,7 @@ walking the inode table (as in real PMFS).
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fs.errors import (
@@ -45,6 +46,7 @@ _N_DIRECT = 16
 _N_INDIRECT = 2
 _JOURNAL_HDR = "<IQ"        # magic, active length
 _JREC_HDR = "<QH"           # address, length
+_J_MAGIC = 0x9AF5104A
 
 FT_FILE = 1
 FT_DIR = 2
@@ -97,6 +99,8 @@ class PMFS(BaseFileSystem):
         self._used_pages: Set[int] = set()
         self._next_ino = 2
         self._journal_off = 0
+        self._tx_depth = 0
+        self._pending_trims: Set[int] = set()
         if format_device:
             self.mkfs()
         else:
@@ -119,6 +123,7 @@ class PMFS(BaseFileSystem):
             bytes(self._journal_pages * self.P),
             StructKind.JOURNAL,
         )
+        self._write_journal_header(0)
         self.device.write_blocks(
             self._itable_start,
             bytes(self._itable_pages * self.P),
@@ -149,6 +154,11 @@ class PMFS(BaseFileSystem):
         self._free_cursor = self._data_start
         self._next_ino = 2
         self._journal_off = 0
+        self._tx_depth = 0
+        self._pending_trims = set()
+        # Undo any metadata transaction the crash interrupted *before*
+        # trusting the inode table.
+        self._journal_rollback()
         for ino in range(1, self.n_inodes):
             inode = self._load_inode(ino)
             if inode is None:
@@ -167,6 +177,45 @@ class PMFS(BaseFileSystem):
     # undo journal (§3.3: PMFS's metadata double writes)
     # ------------------------------------------------------------------ #
 
+    def _write_journal_header(self, active_len: int) -> None:
+        hdr = struct.pack(_JOURNAL_HDR, _J_MAGIC, active_len)
+        self.device.store(
+            self._journal_start * self.P, hdr, StructKind.JOURNAL
+        )
+
+    @contextmanager
+    def _tx(self):
+        """Undo-journal transaction bracket for compound metadata ops.
+
+        Every logged in-place write inside the bracket is undone by
+        recovery if the commit record (header active length reset to 0)
+        never lands — that is what makes rename/create/unlink atomic on
+        crash.  Page trims are deferred to after commit so rollback can
+        still restore metadata that referenced them.
+        """
+        self._tx_begin()
+        try:
+            yield
+        finally:
+            self._tx_commit()
+
+    def _tx_begin(self) -> None:
+        self._tx_depth += 1
+        if self._tx_depth == 1:
+            self._journal_off = 0
+
+    def _tx_commit(self) -> None:
+        self._tx_depth -= 1
+        if self._tx_depth > 0:
+            return
+        if self._journal_off:
+            # Commit: invalidate the undo records in one atomic store.
+            self._write_journal_header(0)
+            self._journal_off = 0
+        for page in sorted(self._pending_trims):
+            self.device.trim(page)
+        self._pending_trims.clear()
+
     def _journal_undo(self, addr: int, length: int) -> None:
         """Log the old contents of [addr, addr+length) before an in-place
         metadata overwrite, and make the record durable."""
@@ -175,16 +224,47 @@ class PMFS(BaseFileSystem):
         rec += bytes(_align8(len(rec)) - len(rec))
         cap = self._journal_pages * self.P - self.P  # page 0 is the header
         if self._journal_off + len(rec) > cap:
-            self._journal_off = 0  # previous ops completed; wrap
+            raise NoSpace("PMFS journal overflow (transaction too large)")
         addr_j = (self._journal_start + 1) * self.P + self._journal_off
         self.device.store(addr_j, rec, StructKind.JOURNAL)
         self._journal_off += len(rec)
+        # Record first, header second: a torn record not yet covered by
+        # the 12 B (single-cacheline, atomic) header is simply ignored.
+        self._write_journal_header(self._journal_off)
         self.stats.bump("pmfs_undo_records")
 
     def _meta_store(self, addr: int, data: bytes, kind: StructKind) -> None:
         """Journaled in-place metadata write (undo log, then new bytes)."""
-        self._journal_undo(addr, len(data))
-        self.device.store(addr, data, kind)
+        with self._tx():
+            self._journal_undo(addr, len(data))
+            self.device.store(addr, data, kind)
+
+    def _journal_rollback(self) -> None:
+        """Mount-time recovery: apply active undo records in reverse."""
+        raw = self.device.load(
+            self._journal_start * self.P,
+            struct.calcsize(_JOURNAL_HDR),
+            StructKind.JOURNAL,
+        )
+        magic, active_len = struct.unpack(_JOURNAL_HDR, raw)
+        if magic != _J_MAGIC or active_len == 0:
+            return
+        base = (self._journal_start + 1) * self.P
+        records: List[Tuple[int, bytes]] = []
+        off = 0
+        hdr_len = struct.calcsize(_JREC_HDR)
+        while off + hdr_len <= active_len:
+            rec = self.device.load(base + off, hdr_len, StructKind.JOURNAL)
+            addr, length = struct.unpack(_JREC_HDR, rec)
+            old = self.device.load(
+                base + off + hdr_len, length, StructKind.JOURNAL
+            )
+            records.append((addr, old))
+            off += _align8(hdr_len + length)
+        for addr, old in reversed(records):
+            self.device.store(addr, old, StructKind.JOURNAL)
+        self._write_journal_header(0)
+        self.stats.bump("pmfs_journal_rollbacks")
 
     # ------------------------------------------------------------------ #
     # inodes
@@ -228,8 +308,11 @@ class PMFS(BaseFileSystem):
         needed = -(-len(extra) // self._ptrs_per_indirect) if extra else 0
         if needed > _N_INDIRECT:
             raise NoSpace("file exceeds PMFS max size")
+        fresh = set()
         while len(inode.indirect) < needed:
-            inode.indirect.append(self._alloc_page())
+            page = self._alloc_page()
+            fresh.add(page)
+            inode.indirect.append(page)
         for i in range(needed):
             chunk = extra[
                 i * self._ptrs_per_indirect : (i + 1) * self._ptrs_per_indirect
@@ -237,9 +320,14 @@ class PMFS(BaseFileSystem):
             img = struct.pack("<I", len(chunk)) + b"".join(
                 struct.pack("<I", p) for p in chunk
             )
-            self.device.store(
-                inode.indirect[i] * self.P, img, StructKind.DATA_PTR
-            )
+            addr = inode.indirect[i] * self.P
+            if inode.indirect[i] in fresh:
+                # Unreferenced until the inode lands; no undo needed.
+                self.device.store(addr, img, StructKind.DATA_PTR)
+            else:
+                # In-place rewrite of live pointers must be journaled or
+                # a torn store corrupts data the inode already maps.
+                self._meta_store(addr, img, StructKind.DATA_PTR)
 
     def _load_inode(self, ino: int) -> Optional[_MemInode]:
         raw = self.device.load(
@@ -294,6 +382,9 @@ class PMFS(BaseFileSystem):
     def _alloc_page(self) -> int:
         if self._free_pages:
             page = self._free_pages.pop()
+            # A page freed earlier in this (or an uncommitted) op must
+            # not be trimmed after commit once it holds live data again.
+            self._pending_trims.discard(page)
         else:
             if self._free_cursor >= self.device.capacity_blocks:
                 raise NoSpace("PMFS: out of pages")
@@ -306,7 +397,9 @@ class PMFS(BaseFileSystem):
         if page in self._used_pages:
             self._used_pages.discard(page)
             self._free_pages.append(page)
-            self.device.trim(page)
+            # Trim only after the freeing transaction commits: until
+            # then a crash rolls metadata back to referencing this page.
+            self._pending_trims.add(page)
 
     # ------------------------------------------------------------------ #
     # directories: in-place dentry arrays in dir data pages
@@ -407,18 +500,20 @@ class PMFS(BaseFileSystem):
         if ftype == FT_DIR:
             self._dirs[ino] = {}
             self._dir_free[ino] = []
-        self._persist_inode(inode)
-        self._dir_add(dir_ino, name, ino, ftype)
+        with self._tx():
+            self._persist_inode(inode)
+            self._dir_add(dir_ino, name, ino, ftype)
         return ino
 
     def _remove_file(self, dir_ino: int, name: str, ino: int) -> None:
         inode = self._get_inode(ino)
-        self._dir_remove(dir_ino, name)
-        inode.links -= 1
-        if inode.links <= 0:
-            self._release(inode)
-        else:
-            self._persist_inode(inode)
+        with self._tx():
+            self._dir_remove(dir_ino, name)
+            inode.links -= 1
+            if inode.links <= 0:
+                self._release(inode)
+            else:
+                self._persist_inode(inode)
 
     def _release(self, inode: _MemInode) -> None:
         for page in inode.ptrs:
@@ -438,8 +533,9 @@ class PMFS(BaseFileSystem):
     def _remove_dir(self, dir_ino: int, name: str, ino: int) -> None:
         if self._load_dir(ino):
             raise DirectoryNotEmpty(name)
-        self._dir_remove(dir_ino, name)
-        self._release(self._get_inode(ino))
+        with self._tx():
+            self._dir_remove(dir_ino, name)
+            self._release(self._get_inode(ino))
 
     def _rename(
         self, src_dir: int, src_name: str, dst_dir: int, dst_name: str
@@ -448,18 +544,19 @@ class PMFS(BaseFileSystem):
         ino, ftype, _addr = entries[src_name]
         dst_entries = self._load_dir(dst_dir)
         existing = dst_entries.get(dst_name)
-        if existing is not None:
-            target = self._get_inode(existing[0])
-            if target.is_dir:
-                raise FileExists(dst_name)
-            self._dir_remove(dst_dir, dst_name)
-            target.links -= 1
-            if target.links <= 0:
-                self._release(target)
-            else:
-                self._persist_inode(target)
-        self._dir_remove(src_dir, src_name)
-        self._dir_add(dst_dir, dst_name, ino, ftype)
+        if existing is not None and self._get_inode(existing[0]).is_dir:
+            raise FileExists(dst_name)
+        with self._tx():
+            if existing is not None:
+                target = self._get_inode(existing[0])
+                self._dir_remove(dst_dir, dst_name)
+                target.links -= 1
+                if target.links <= 0:
+                    self._release(target)
+                else:
+                    self._persist_inode(target)
+            self._dir_remove(src_dir, src_name)
+            self._dir_add(dst_dir, dst_name, ino, ftype)
 
     def _readdir(self, ino: int) -> List[str]:
         return sorted(self._load_dir(ino))
@@ -545,22 +642,23 @@ class PMFS(BaseFileSystem):
     def _truncate(self, ino: int, size: int) -> None:
         inode = self._get_inode(ino)
         keep = -(-size // self.P)
-        for pidx in range(keep, len(inode.ptrs)):
-            if inode.ptrs[pidx]:
-                self._free_page(inode.ptrs[pidx])
-        inode.ptrs = inode.ptrs[:keep]
-        # Zero the partial tail in place (byte interface).
-        poff = size % self.P
-        if poff and keep - 1 < len(inode.ptrs) and inode.ptrs[keep - 1]:
-            self.device.store(
-                inode.ptrs[keep - 1] * self.P + poff,
-                bytes(self.P - poff),
-                StructKind.DATA,
-            )
-        inode.size = size
-        inode.mtime = self.clock.now
-        self._persist_indirects(inode)
-        self._persist_inode(inode)
+        with self._tx():
+            for pidx in range(keep, len(inode.ptrs)):
+                if inode.ptrs[pidx]:
+                    self._free_page(inode.ptrs[pidx])
+            inode.ptrs = inode.ptrs[:keep]
+            # Zero the partial tail in place (byte interface).
+            poff = size % self.P
+            if poff and keep - 1 < len(inode.ptrs) and inode.ptrs[keep - 1]:
+                self.device.store(
+                    inode.ptrs[keep - 1] * self.P + poff,
+                    bytes(self.P - poff),
+                    StructKind.DATA,
+                )
+            inode.size = size
+            inode.mtime = self.clock.now
+            self._persist_indirects(inode)
+            self._persist_inode(inode)
 
     def _fsync(self, ino: int, data_only: bool) -> None:
         return  # writes are durable at completion

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.ftl.ftl import FTL, FTLConfig
 from repro.interconnect.link import HostLink
 from repro.nand.chip import FlashArray
@@ -57,10 +58,14 @@ class MSSD:
         config: MSSDConfig,
         clock: VirtualClock,
         stats: TrafficStats,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        if faults is not None and faults.stats is None:
+            faults.stats = stats
         self.geometry = config.geometry
         self.page_size = config.geometry.page_size
         self.flash = FlashArray(config.geometry)
@@ -86,6 +91,7 @@ class MSSD:
             )
         else:
             raise ValueError(f"unknown firmware variant {config.firmware!r}")
+        self.firmware.faults = self.faults
 
     # ------------------------------------------------------------------ #
     # geometry helpers
@@ -151,7 +157,15 @@ class MSSD:
         self.link.mmio_write(len(data))
         pos = 0
         for lpa, off, n in self._split(addr, len(data)):
-            self.firmware.byte_write(lpa, off, data[pos : pos + n], txid)
+            piece = data[pos : pos + n]
+
+            def _apply(k: int, lpa=lpa, off=off, piece=piece) -> None:
+                # A torn store loses the trailing cachelines of this
+                # piece; the prefix that did arrive is logged normally.
+                if k:
+                    self.firmware.byte_write(lpa, off, piece[:k], txid)
+
+            self.faults.site("mssd.store", _apply, n, atom=64)
             pos += n
         if persist:
             self.link.persist_barrier(max(1, math.ceil(len(data) / 64)))
@@ -206,11 +220,28 @@ class MSSD:
         self.link.dma(len(data), write=True)
         for i in range(n_blocks):
             page = data[i * self.page_size : (i + 1) * self.page_size]
-            self.firmware.block_write(lba + i, page, kind)
+
+            def _apply(k: int, lba=lba + i, page=page) -> None:
+                if k == 0:
+                    return
+                if k < len(page):
+                    # Torn DMA: leading sectors are new, the rest keep
+                    # whatever the device held before.
+                    old = self.firmware.block_read(lba)
+                    page = page[:k] + old[k:]
+                self.firmware.block_write(lba, page, kind)
+
+            self.faults.site(
+                "mssd.write_block", _apply, self.page_size, atom=512
+            )
 
     def trim(self, lba: int, n_blocks: int = 1) -> None:
-        for i in range(n_blocks):
-            self.firmware.trim(lba + i)
+        def _apply(k: int) -> None:
+            if k:
+                for i in range(n_blocks):
+                    self.firmware.trim(lba + i)
+
+        self.faults.site("mssd.trim", _apply, n_blocks)
 
     # custom NVMe commands ------------------------------------------------
 
@@ -223,7 +254,12 @@ class MSSD:
         """
         self.link.persist_barrier(1)
         self.link.dma(4, write=True)
-        self.firmware.commit(txid)
+
+        def _apply(k: int) -> None:
+            if k:
+                self.firmware.commit(txid)
+
+        self.faults.site("mssd.commit", _apply, 4)
 
     def recover(self) -> Dict[str, float]:
         """RECOVER(): firmware-level crash recovery (§4.7)."""
@@ -243,6 +279,7 @@ def build_mssd(
     clock: Optional[VirtualClock] = None,
     stats: Optional[TrafficStats] = None,
     config: Optional[MSSDConfig] = None,
+    faults: Optional[FaultInjector] = None,
     **overrides,
 ) -> MSSD:
     """Convenience constructor used by tests, examples, and benches.
@@ -254,4 +291,4 @@ def build_mssd(
         if not hasattr(cfg, key):
             raise TypeError(f"unknown MSSDConfig field {key!r}")
         setattr(cfg, key, value)
-    return MSSD(cfg, clock or VirtualClock(), stats or TrafficStats())
+    return MSSD(cfg, clock or VirtualClock(), stats or TrafficStats(), faults)

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.ftl import FTL
 from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
@@ -61,6 +62,8 @@ class BaselineFirmware:
         self._cache: "OrderedDict[int, _CachedPage]" = OrderedDict()
         self._dirty_count = 0
         self.fw_core = Resource("fw-core")
+        # Crash-site hooks; MSSD overwrites this with its own injector.
+        self.faults = NULL_INJECTOR
 
     # ------------------------------------------------------------------ #
 
@@ -117,6 +120,10 @@ class BaselineFirmware:
             page = self._cache[lpa]
             if not page.dirty:
                 continue
+            # Cache and flash are both device-retained, so a crash here
+            # only changes *where* the bytes sit — still worth a site:
+            # recovery must cope with half-drained watermark flushes.
+            self.faults.point("basefw.writeback")
             self.ftl.write_page(
                 lpa, bytes(page.data), StructKind.OTHER, background=True
             )
@@ -155,12 +162,18 @@ class BaselineFirmware:
         if offset + len(data) > self.page_size:
             raise ValueError("byte write crosses a page boundary")
         self._fw(self.timing.dram_access_ns)
-        page = self._load_page(lpa)
-        page.data[offset : offset + len(data)] = data
-        if not page.dirty:
-            page.dirty = True
-            self._dirty_count += 1
-        self._writeback_if_needed()
+
+        def _apply(k: int) -> None:
+            if k == 0:
+                return
+            page = self._load_page(lpa)
+            page.data[offset : offset + k] = data[:k]
+            if not page.dirty:
+                page.dirty = True
+                self._dirty_count += 1
+            self._writeback_if_needed()
+
+        self.faults.site("basefw.byte_write", _apply, len(data), atom=64)
 
     # ------------------------------------------------------------------ #
     # block interface

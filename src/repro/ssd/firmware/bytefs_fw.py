@@ -20,13 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.ftl import FTL
 from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
 from repro.sim.resources import Resource
 from repro.ssd.firmware.log_index import ChunkEntry, PageNode
 from repro.ssd.firmware.txlog import TxLog
-from repro.ssd.firmware.write_log import LogFullError, LogRegion, aligned_entry_size
+from repro.ssd.firmware.write_log import (
+    LogFullError,
+    LogRegion,
+    aligned_entry_size,
+    entry_complete,
+)
 from repro.stats.traffic import Direction, StructKind, TrafficStats
 
 
@@ -74,6 +80,8 @@ class ByteFSFirmware:
         self.active = 0
         self.txlog = TxLog(self.config.txlog_bytes)
         self.fw_core = Resource("fw-core")
+        # Crash-site hooks; MSSD overwrites this with its own injector.
+        self.faults = NULL_INJECTOR
         self._seq = 0
         # Live log entries per transaction id (for safe TxLog pruning).
         self._tx_refs: Dict[int, int] = {}
@@ -161,20 +169,32 @@ class ByteFSFirmware:
             raise ValueError("byte write crosses a page boundary")
         self._ensure_space(len(data))
         self._fw(self.timing.fw_append_ns)
-        region = self.regions[self.active]
-        log_off = region.consume(len(data))
-        entry = ChunkEntry(
-            offset=offset,
-            length=len(data),
-            log_off=log_off,
-            txid=txid,
-            seq=self._next_seq(),
-            data=bytes(data),
-        )
-        region.index.insert(lpa, entry)
-        if txid is not None:
-            self._tx_refs[txid] = self._tx_refs.get(txid, 0) + 1
-        self.stats.bump("fw_log_appends")
+
+        def _append(persisted: int) -> None:
+            if not entry_complete(persisted, len(data)):
+                # The entry's trailing TxID word never made it to DRAM;
+                # the §4.7 recovery scan would detect and skip it, so a
+                # torn append is as if it had never happened.
+                self.stats.bump("fw_torn_appends_discarded")
+                return
+            region = self.regions[self.active]
+            log_off = region.consume(len(data))
+            entry = ChunkEntry(
+                offset=offset,
+                length=len(data),
+                log_off=log_off,
+                txid=txid,
+                seq=self._next_seq(),
+                data=bytes(data),
+            )
+            region.index.insert(lpa, entry)
+            if txid is not None:
+                self._tx_refs[txid] = self._tx_refs.get(txid, 0) + 1
+            self.stats.bump("fw_log_appends")
+
+        # 8 B words: the log lives in SSD DRAM behind the controller's
+        # memory bus, so a power cut can tear an entry mid-word-stream.
+        self.faults.site("fw.log_append", _append, len(data), atom=8)
 
     # ------------------------------------------------------------------ #
     # block interface
@@ -268,11 +288,15 @@ class ByteFSFirmware:
     def _clean_region(self, idx: int) -> None:
         """Flush one region to flash (Algorithm 1), in the background."""
         region = self.regions[idx]
+        self.faults.point("fw.clean_begin")
         self.cleanings += 1
         self.stats.bump("fw_log_cleanings")
         start_busy = self.ftl.channels.max_busy_until()
         for node in list(region.index.pages()):
             self._flush_page_node(node)
+        # Power loss here leaves flushed pages on flash AND their entries
+        # in the log; recovery re-flushes them — idempotent by design.
+        self.faults.point("fw.clean_reset")
         region.reset()
         region.is_cleaning = True
         region.cleaning_until = max(
@@ -302,16 +326,35 @@ class ByteFSFirmware:
         committed.sort(key=lambda c: (self.txlog.commit_position(c.txid)
                                       if c.txid is not None else -1, c.seq))
         merged = self._merge(base, committed)
-        self.ftl.write_page(node.lpa, merged, StructKind.OTHER, background=True)
-        self.stats.bump("fw_clean_page_flushes")
+
+        def _flush(k: int) -> None:
+            image = merged
+            if 0 < k < len(merged):
+                # Torn flash program: leading sectors hold the new image,
+                # the rest whatever the mapped page held before.  The log
+                # still has every entry (the region resets only after the
+                # whole clean), so recovery rewrites this page anyway.
+                old = self.ftl.read_page(
+                    node.lpa, StructKind.OTHER, background=True
+                )
+                image = merged[:k] + old[k:]
+            self.ftl.write_page(
+                node.lpa, image, StructKind.OTHER, background=True
+            )
+            self.stats.bump("fw_clean_page_flushes")
+
+        self.faults.site("fw.clean_flush", _flush, len(merged), atom=512)
 
     def _prune_txlog(self) -> None:
-        """Drop TxLog entries whose transactions have no live log entries."""
+        """Drop TxLog entries whose transactions have no live log entries.
+
+        Uses the shadow-buffer swap (:meth:`TxLog.replace`) so a crash
+        mid-prune can't surface a TxLog with some committed entries
+        already gone — that would silently uncommit their data.
+        """
         live = set(self._tx_refs)
         remaining = [t for t in self.txlog.committed_in_order() if t in live]
-        self.txlog.clear()
-        for t in remaining:
-            self.txlog.commit(t)
+        self.txlog.replace(remaining)
 
     def force_clean(self) -> None:
         """Flush both halves now (used by unmount/sync)."""

@@ -43,6 +43,24 @@ class TxLog:
     def committed_in_order(self) -> List[int]:
         return list(self._order)
 
+    def replace(self, txids: List[int]) -> None:
+        """Atomically swap the log's contents for ``txids`` (in order).
+
+        Log cleaning prunes the TxLog by rebuilding it with only the
+        transactions that still have live data entries.  The firmware
+        builds the pruned log in a shadow buffer and flips to it in one
+        step, so a crash during pruning can never observe a
+        half-truncated TxLog (clear-then-recommit would).
+        """
+        if len(txids) > self.capacity_entries:
+            raise TxLogFullError("pruned TxLog exceeds capacity")
+        order = list(txids)
+        positions = {t: i for i, t in enumerate(order)}
+        if len(positions) != len(order):
+            raise ValueError("duplicate txid in replacement")
+        self._order = order
+        self._positions = positions
+
     def __len__(self) -> int:
         return len(self._order)
 

@@ -51,6 +51,10 @@ class TrafficStats:
         self.app: Dict[Direction, int] = defaultdict(int)
         # free-form event counters (cache hits, log cleanings, GC runs, ...)
         self.counters: Dict[str, int] = defaultdict(int)
+        # fault-injection counters (crash sites reached, crashes injected,
+        # torn writes applied) — kept separate from ``counters`` so sweep
+        # bookkeeping never pollutes traffic-derived metrics
+        self.fault_counters: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------ #
     # recording
@@ -79,6 +83,9 @@ class TrafficStats:
 
     def bump(self, counter: str, n: int = 1) -> None:
         self.counters[counter] += n
+
+    def bump_fault(self, counter: str, n: int = 1) -> None:
+        self.fault_counters[counter] += n
 
     # ------------------------------------------------------------------ #
     # queries
@@ -142,11 +149,22 @@ class TrafficStats:
                 out[k] += n
         return dict(out)
 
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict copy of every aggregate (for reset round-trips)."""
+        return {
+            "host_ssd": dict(self.host_ssd),
+            "flash": dict(self.flash),
+            "app": dict(self.app),
+            "counters": dict(self.counters),
+            "fault_counters": dict(self.fault_counters),
+        }
+
     def reset(self) -> None:
         self.host_ssd.clear()
         self.flash.clear()
         self.app.clear()
         self.counters.clear()
+        self.fault_counters.clear()
 
 
 class LatencyRecorder:

@@ -23,6 +23,16 @@ ALL_FS = ["ext4", "f2fs", "nova", "pmfs", "bytefs"]
 ALL_FS_AND_VARIANTS = ALL_FS + ["bytefs-dual", "bytefs-log"]
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--max-sites",
+        type=int,
+        default=None,
+        help="cap the number of crash sites replayed per sweep test "
+        "(default: the per-test tier-1 bound; extended sweeps replay all)",
+    )
+
+
 @pytest.fixture
 def clock():
     return VirtualClock(1)

@@ -1,0 +1,71 @@
+"""Pytest helpers for crash-consistency sweeps.
+
+Thin glue between :mod:`repro.faults` and the sweep tests: runs a sweep
+with a site cap (overridable via ``pytest --max-sites=N``) and turns a
+failing report into an assertion message that tells the reader exactly
+how to reproduce each failing crash point outside pytest::
+
+    PYTHONPATH=src python -m repro crashsweep --fs ext4 --seed 0 --site 42
+
+Kept out of conftest so the sweep tests stay importable on their own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults import SweepConfig, SweepReport, run_sweep
+
+
+def sweep_or_report(
+    fs_name: str,
+    seed: int = 0,
+    max_sites: Optional[int] = None,
+    torn: bool = True,
+) -> SweepReport:
+    """Run one sweep and return the report (no assertions)."""
+    config = SweepConfig(
+        fs_name=fs_name, seed=seed, max_sites=max_sites, torn=torn
+    )
+    return run_sweep(config)
+
+
+def repro_command(fs_name: str, seed: int, site: int, torn: bool) -> str:
+    cmd = (
+        f"PYTHONPATH=src python -m repro crashsweep "
+        f"--fs {fs_name} --seed {seed} --site {site}"
+    )
+    return cmd + (" --torn" if torn else "")
+
+
+def assert_sweep_clean(report: SweepReport, min_sites: int = 0) -> None:
+    """Assert every replayed crash point recovered oracle-consistent."""
+    assert report.n_sites >= min_sites, (
+        f"{report.fs_name}: workload reached only {report.n_sites} crash "
+        f"sites (need >= {min_sites}); the standard workload shrank?"
+    )
+    if report.ok:
+        return
+    lines = [report.summary()]
+    for failure in report.failures:
+        lines.append("  " + failure.describe())
+        lines.append(
+            "    reproduce: "
+            + repro_command(
+                report.fs_name, report.seed, failure.site, failure.torn
+            )
+        )
+    raise AssertionError("\n".join(lines))
+
+
+def run_and_check(
+    fs_name: str,
+    seed: int = 0,
+    max_sites: Optional[int] = None,
+    min_sites: int = 0,
+    torn: bool = True,
+) -> SweepReport:
+    """Sweep + assert in one call; returns the report for extra checks."""
+    report = sweep_or_report(fs_name, seed=seed, max_sites=max_sites, torn=torn)
+    assert_sweep_clean(report, min_sites=min_sites)
+    return report

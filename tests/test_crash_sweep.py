@@ -1,0 +1,93 @@
+"""Oracle-checked crash-consistency sweeps (ISSUE acceptance tests).
+
+The tier-1 tests replay a bounded, evenly-spaced subset of crash sites
+for the three acceptance file systems and must always pass.  The
+``crashsweep``-marked tests replay *every* site for *every* file system
+and are opt-in (``pytest -m crashsweep``); CI runs them with
+``--max-sites=200``.
+
+A failure message embeds the exact command that reproduces the failing
+crash point standalone, e.g.::
+
+    PYTHONPATH=src python -m repro crashsweep --fs f2fs --seed 0 --site 104
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.crashgen import run_and_check, sweep_or_report
+
+#: ISSUE acceptance floor: the standard workload must reach at least this
+#: many distinct crash sites on each acceptance file system.
+MIN_SITES = 100
+
+#: Tier-1 replay bound (overridable with ``pytest --max-sites=N``).
+TIER1_MAX_REPLAYS = 120
+
+ACCEPTANCE_FS = ["ext4", "bytefs", "bytefs-log"]
+
+#: bytefs-dual (byte-addressed metadata, *no* firmware transactions) is
+#: the paper's ablation point: compound namespace ops such as rename are
+#: not atomic without the transaction log, and the sweep demonstrates it.
+EXTENDED_FS = [
+    "ext4",
+    "f2fs",
+    "nova",
+    "pmfs",
+    "bytefs",
+    "bytefs-log",
+    pytest.param(
+        "bytefs-dual",
+        marks=pytest.mark.xfail(
+            reason="no firmware transactions: rename is not crash-atomic "
+            "(the ablation that motivates ByteFS's transaction log)",
+            strict=True,
+        ),
+    ),
+]
+
+
+def _max_replays(request) -> int:
+    opt = request.config.getoption("--max-sites")
+    return TIER1_MAX_REPLAYS if opt is None else opt
+
+
+@pytest.mark.parametrize("fs_name", ACCEPTANCE_FS)
+def test_crash_sweep_bounded(fs_name, request):
+    """Every replayed crash point recovers to an oracle-consistent state."""
+    report = run_and_check(
+        fs_name, seed=0, max_sites=_max_replays(request), min_sites=MIN_SITES
+    )
+    # The bound selects sites evenly over the whole trace, so both early
+    # (mkfs-adjacent) and late (post-sync quiesced) sites are exercised.
+    assert report.sites_tested[0] == 0
+    assert report.sites_tested[-1] == report.n_sites - 1
+
+
+def test_crash_sweep_covers_all_mutation_kinds():
+    """The standard workload reaches every class of crash site."""
+    report = sweep_or_report("bytefs", max_sites=0)
+    labels = set(report.label_histogram)
+    # Byte-path MMIO stores, NVMe block writes, and the firmware log
+    # must all appear; a missing class means part of the crash surface
+    # went dark.
+    assert "mssd.store" in labels, labels
+    assert "mssd.write_block" in labels, labels
+    assert "fw.log_append" in labels, labels
+
+
+def test_crash_sweep_deterministic_enumeration():
+    """Same (fs, seed) -> identical site count and label histogram."""
+    a = sweep_or_report("ext4", seed=0, max_sites=0)
+    b = sweep_or_report("ext4", seed=0, max_sites=0)
+    assert a.n_sites == b.n_sites
+    assert a.label_histogram == b.label_histogram
+
+
+@pytest.mark.crashsweep
+@pytest.mark.parametrize("fs_name", EXTENDED_FS)
+def test_crash_sweep_full(fs_name, request):
+    """Exhaustive sweep: every enumerated site, torn variants included."""
+    opt = request.config.getoption("--max-sites")
+    run_and_check(fs_name, seed=0, max_sites=opt, min_sites=MIN_SITES)

@@ -1,0 +1,153 @@
+"""Unit tests for the crash-site fault injector state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    NULL_INJECTOR,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+)
+
+
+def make_log_site(log):
+    """A site whose apply(k) records how many bytes persisted."""
+
+    def _apply(k):
+        log.append(k)
+
+    return _apply
+
+
+def test_off_mode_applies_and_counts_nothing():
+    inj = FaultInjector()
+    log = []
+    inj.site("s", make_log_site(log), nbytes=256, atom=64)
+    inj.point("p")
+    assert log == [256]
+    assert inj.n_sites == 0
+    assert inj.trace == []
+
+
+def test_counting_numbers_sites_in_order():
+    inj = FaultInjector()
+    log = []
+    inj.start_count()
+    inj.site("a", make_log_site(log), nbytes=128, atom=64)
+    inj.point("b")
+    inj.site("a", make_log_site(log), nbytes=64, atom=64)
+    inj.disarm()
+    assert log == [128, 64]  # counting never drops mutations
+    assert [r.index for r in inj.trace] == [0, 1, 2]
+    assert [r.label for r in inj.trace] == ["a", "b", "a"]
+    assert inj.label_histogram() == {"a": 2, "b": 1}
+
+
+def test_tearable_requires_multiple_atoms():
+    inj = FaultInjector()
+    inj.start_count()
+    inj.site("multi", nbytes=256, atom=64)
+    inj.site("single", nbytes=64, atom=64)
+    inj.site("opaque", nbytes=256, atom=0)
+    inj.disarm()
+    assert [r.tearable for r in inj.trace] == [True, False, False]
+
+
+def test_armed_fires_at_planned_site_and_goes_dead():
+    inj = FaultInjector()
+    log = []
+    inj.arm(FaultPlan(crash_site=1))
+    inj.site("a", make_log_site(log), nbytes=64)
+    with pytest.raises(CrashPoint) as exc:
+        inj.site("b", make_log_site(log), nbytes=64)
+    assert exc.value.site == 1
+    assert exc.value.label == "b"
+    assert log == [64]  # site b's mutation never applied
+    # Dead state: mutations during stack unwind are discarded.
+    inj.site("c", make_log_site(log), nbytes=64)
+    assert log == [64]
+    assert inj.fired is not None
+    assert (inj.fired.site, inj.fired.label) == (1, "b")
+    # disarm(): recovery-time writes apply again.
+    inj.disarm()
+    inj.site("d", make_log_site(log), nbytes=64)
+    assert log == [64, 64]
+
+
+def test_torn_cut_is_atom_aligned_prefix():
+    inj = FaultInjector()
+    log = []
+    inj.arm(FaultPlan(crash_site=0, torn=True, seed=7))
+    with pytest.raises(CrashPoint) as exc:
+        inj.site("t", make_log_site(log), nbytes=4096, atom=512)
+    torn = exc.value.torn_bytes
+    assert torn % 512 == 0
+    assert 512 <= torn < 4096
+    assert log == [torn]  # only the prefix persisted
+    assert inj.fired.torn_bytes == torn
+    assert inj.fired.nbytes == 4096
+
+
+def test_torn_cut_deterministic_in_seed():
+    def fire(seed):
+        inj = FaultInjector()
+        inj.arm(FaultPlan(crash_site=0, torn=True, seed=seed))
+        with pytest.raises(CrashPoint) as exc:
+            inj.site("t", nbytes=4096, atom=64)
+        return exc.value.torn_bytes
+
+    assert fire(3) == fire(3)
+
+
+def test_torn_on_atomic_site_falls_back_to_clean_crash():
+    inj = FaultInjector()
+    log = []
+    inj.arm(FaultPlan(crash_site=0, torn=True, seed=0))
+    with pytest.raises(CrashPoint) as exc:
+        inj.site("atomic", make_log_site(log), nbytes=64, atom=64)
+    assert exc.value.torn_bytes == 0
+    assert log == []  # all-or-nothing: nothing persisted
+
+
+def test_nested_sites_inside_torn_apply_are_not_numbered():
+    inj = FaultInjector()
+    inner_log = []
+
+    def outer_apply(k):
+        # A torn MMIO store still goes through an inner site (e.g. the
+        # firmware log append); it must apply fully, un-numbered.
+        inj.site("inner", make_log_site(inner_log), nbytes=k, atom=8)
+
+    inj.arm(FaultPlan(crash_site=0, torn=True, seed=1))
+    with pytest.raises(CrashPoint) as exc:
+        inj.site("outer", outer_apply, nbytes=256, atom=64)
+    assert inner_log == [exc.value.torn_bytes]
+    assert inj.fired.label == "outer"
+
+
+def test_null_injector_refuses_to_arm_but_passes_through():
+    log = []
+    NULL_INJECTOR.site("s", make_log_site(log), nbytes=64)
+    NULL_INJECTOR.point("p")
+    assert log == [64]
+    with pytest.raises(RuntimeError):
+        NULL_INJECTOR.start_count()
+    with pytest.raises(RuntimeError):
+        NULL_INJECTOR.arm(FaultPlan(crash_site=0))
+
+
+def test_stats_fault_counters_bumped():
+    from repro.stats.traffic import TrafficStats
+
+    stats = TrafficStats()
+    inj = FaultInjector(stats=stats)
+    inj.arm(FaultPlan(crash_site=1, torn=True, seed=0))
+    inj.site("a", nbytes=64)
+    with pytest.raises(CrashPoint):
+        inj.site("b", lambda k: None, nbytes=4096, atom=512)
+    snap = stats.snapshot()
+    assert snap["fault_counters"]["fault_sites_reached"] == 2
+    assert snap["fault_counters"]["fault_crashes_injected"] == 1
+    assert snap["fault_counters"]["fault_torn_injected"] == 1

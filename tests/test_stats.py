@@ -71,6 +71,15 @@ def test_counters():
     assert st.counters["x"] == 5
 
 
+def test_fault_counters_separate_from_traffic_counters():
+    st = TrafficStats()
+    st.bump("gc_runs")
+    st.bump_fault("fault_sites_reached", 3)
+    assert st.fault_counters["fault_sites_reached"] == 3
+    assert "fault_sites_reached" not in st.counters
+    assert "gc_runs" not in st.fault_counters
+
+
 def test_reset():
     st = TrafficStats()
     st.record_app(Direction.WRITE, 10)
@@ -78,6 +87,20 @@ def test_reset():
     st.reset()
     assert st.app == {}
     assert st.counters == {}
+
+
+def test_reset_round_trips_to_all_zero_snapshot():
+    st = TrafficStats()
+    empty = st.snapshot()
+    assert all(v == {} for v in empty.values())
+    st.record_host_ssd(StructKind.INODE, Direction.WRITE, Interface.BYTE, 64)
+    st.record_flash(StructKind.DATA, Direction.WRITE, 4096)
+    st.record_app(Direction.WRITE, 64)
+    st.bump("gc_runs")
+    st.bump_fault("fault_crashes_injected")
+    assert st.snapshot() != empty
+    st.reset()
+    assert st.snapshot() == empty
 
 
 def test_latency_recorder_percentiles():
