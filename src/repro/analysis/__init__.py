@@ -1,0 +1,21 @@
+"""Static analysis and runtime invariant checking for the simulation.
+
+Two halves (see ``docs/ANALYSIS.md``):
+
+* **AST lint passes** (:mod:`repro.analysis.linter`) enforce the
+  conventions the crash-sweep framework and the deterministic substrate
+  rely on: every device-visible mutation routes through a registered
+  crash site (CS001), no wall-clock or ambient randomness outside
+  ``repro.sim`` (DET001/DET002/DET003), and host-layer code talks to the
+  device only through ``repro.ssd.device`` (LAY001).  Run them with
+  ``python -m repro lint``.
+
+* **FSSan** (:mod:`repro.analysis.fssan`), a runtime invariant
+  sanitizer: contract checks inside the firmware, FTL, and simulation
+  substrate that are no-ops unless ``REPRO_SANITIZE=1`` (or
+  :func:`repro.analysis.fssan.enable` is called).
+"""
+
+from repro.analysis.findings import Finding, RULES
+
+__all__ = ["Finding", "RULES"]

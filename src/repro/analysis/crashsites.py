@@ -1,0 +1,206 @@
+"""CS001: device-visible mutations must be reachable only through the
+fault injector's crash-site registration.
+
+The crash-consistency sweep (docs/FAULTS.md) enumerates numbered sites
+by replaying the workload; a mutation primitive that executes on a path
+with no ``faults.site(...)`` / ``faults.point(...)`` upstream is
+invisible to the sweep — the oracle can never schedule a crash there,
+so torn/lost-write bugs on that path are silently untested.
+
+The pass is an over-approximating reachability analysis on a name-keyed
+call graph, restricted to the device stack (``repro.ssd``, ``repro.ftl``,
+``repro.nand``):
+
+* A function is *directly guarded* (G0) when its body calls
+  ``*.faults.site(...)`` or ``*.faults.point(...)``, or when it is a
+  nested ``def`` passed by name as the apply-callback to a ``site()``
+  call in its enclosing function.
+* Guardedness then propagates by a greatest fixed point: start with
+  every function assumed guarded, and demote a function when it is not
+  in G0, not exempt, and either has no in-stack callers at all or has at
+  least one unguarded caller.  (Universal quantification over callers is
+  what catches a primitive reachable from an unregistered entry path
+  even when the same helper is also called from a guarded one.)
+* ``# repro: allow[CS001]`` on the ``def`` line exempts the whole
+  function and treats it as guarded for propagation — recovery code is
+  the intended use, since sweeps disarm the injector before recovery.
+
+Calls are resolved by bare name (the final attribute), so the analysis
+is deliberately conservative and method-receiver-agnostic; suppression
+comments are the escape hatch for collisions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import is_suppressed
+
+#: Module prefixes that constitute the simulated device stack.
+STACK_PREFIXES = ("repro.ssd", "repro.ftl", "repro.nand")
+
+#: Bare names of device-visible mutation primitives.
+MUTATION_PRIMITIVES = {
+    "write_page",
+    "program_page",
+    "erase_block",
+    "consume",
+    "insert",
+    "remove_page",
+    "replace",
+    "byte_write",
+    "block_write",
+    "trim",
+    "commit",
+}
+
+RULE = "CS001"
+
+
+class _Context:
+    """One function definition (module top level is also a context)."""
+
+    def __init__(self, name: str, qualname: str, module, node) -> None:
+        self.name = name
+        self.qualname = qualname
+        self.module = module
+        self.node = node
+        self.guarded0 = False       # body registers a site/point
+        self.exempt = False         # allow[CS001] on the def line
+        # (name, line, col, is_method) — bare-name calls still feed the
+        # call graph but are never flagged as primitives: mutation
+        # primitives are methods on device objects, and bare names would
+        # collide with e.g. dataclasses.replace().
+        self.calls: List[Tuple[str, int, int, bool]] = []
+        self.children: Dict[str, "_Context"] = {}
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_faults_call(node: ast.Call) -> bool:
+    """Match ``<anything>.faults.site(...)`` / ``.point(...)`` and bare
+    ``faults.site(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in ("site", "point"):
+        return False
+    recv = func.value
+    if isinstance(recv, ast.Attribute):
+        return recv.attr == "faults"
+    if isinstance(recv, ast.Name):
+        return recv.id == "faults"
+    return False
+
+
+def _collect_contexts(module) -> List[_Context]:
+    """Walk one module, building a context per function definition."""
+    contexts: List[_Context] = []
+
+    def walk(node: ast.AST, ctx: _Context, qual: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                sub = _Context(
+                    child.name, f"{qual}{child.name}", module, child
+                )
+                sub.exempt = is_suppressed(
+                    module.suppress, child.lineno, RULE
+                )
+                ctx.children[child.name] = sub
+                contexts.append(sub)
+                walk(child, sub, f"{qual}{child.name}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, ctx, f"{qual}{child.name}.")
+            else:
+                scan_node(child, ctx)
+                walk(child, ctx, qual)
+
+    def scan_node(node: ast.AST, ctx: _Context) -> None:
+        if isinstance(node, ast.Call):
+            if _is_faults_call(node):
+                ctx.guarded0 = True
+                if node.func.attr == "site":
+                    # The apply-callback passed to site() runs inside the
+                    # registration: mark the nested def it names as G0.
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) and arg.id in ctx.children:
+                            ctx.children[arg.id].guarded0 = True
+            else:
+                name = _call_name(node.func)
+                if name is not None:
+                    ctx.calls.append((
+                        name, node.lineno, node.col_offset,
+                        isinstance(node.func, ast.Attribute),
+                    ))
+
+    root = _Context("<module>", f"{module.name}:<module>", module, module.tree)
+    contexts.append(root)
+    walk(module.tree, root, "")
+
+    # A site() call may name a nested def *after* the statement where the
+    # def appears was walked; a second pass resolves late registrations.
+    for ctx in contexts:
+        for node in ast.walk(ctx.node):
+            if isinstance(node, ast.Call) and _is_faults_call(node) \
+                    and node.func.attr == "site":
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in ctx.children:
+                        ctx.children[arg.id].guarded0 = True
+    return contexts
+
+
+def check_crash_sites(modules) -> List[Finding]:
+    """Run CS001 over every stack module in ``modules`` together."""
+    stack = [
+        m for m in modules
+        if any(
+            m.name == p or m.name.startswith(p + ".")
+            for p in STACK_PREFIXES
+        )
+    ]
+    if not stack:
+        return []
+
+    contexts: List[_Context] = []
+    for mod in stack:
+        contexts.extend(_collect_contexts(mod))
+
+    callers_of: Dict[str, Set[int]] = {}
+    for i, ctx in enumerate(contexts):
+        for name, _line, _col, _attr in ctx.calls:
+            callers_of.setdefault(name, set()).add(i)
+
+    # Greatest fixed point: optimistically everything is guarded, then
+    # demote until stable.  Demotion is monotone, so this terminates.
+    guarded = [True] * len(contexts)
+    changed = True
+    while changed:
+        changed = False
+        for i, ctx in enumerate(contexts):
+            if not guarded[i] or ctx.guarded0 or ctx.exempt:
+                continue
+            callers = callers_of.get(ctx.name, ())
+            if not callers or any(not guarded[j] for j in callers):
+                guarded[i] = False
+                changed = True
+
+    findings: List[Finding] = []
+    for i, ctx in enumerate(contexts):
+        if guarded[i] or ctx.exempt:
+            continue
+        for name, line, col, is_method in ctx.calls:
+            if is_method and name in MUTATION_PRIMITIVES:
+                findings.append(Finding(
+                    RULE, ctx.module.display, line, col,
+                    f"device mutation .{name}() reachable via "
+                    f"{ctx.qualname}() without a crash-site registration; "
+                    "wrap the path in faults.site()/faults.point() or mark "
+                    "the def with `# repro: allow[CS001]`",
+                ))
+    return findings

@@ -1,0 +1,44 @@
+"""Lint finding records and the rule registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Rule id -> one-line description (see docs/ANALYSIS.md for the long form).
+RULES: Dict[str, str] = {
+    "CS001": (
+        "device-visible mutation not routed through a registered "
+        "fault-injector crash site"
+    ),
+    "DET001": "wall-clock access outside repro.sim.clock",
+    "DET002": "ambient randomness outside repro.sim.rng",
+    "DET003": "iteration over an unordered set",
+    "LAY001": (
+        "host-layer module imports NAND/FTL/firmware internals instead of "
+        "going through repro.ssd.device"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pinned to a file:line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,84 @@
+"""LAY001: host-side code must talk to the device through
+``repro.ssd.device.MSSD``, never to NAND/FTL/firmware internals.
+
+The paper's host/device split (host DRAM vs. SSD DRAM, MMIO vs. DMA) is
+what the simulation measures; a filesystem that reaches directly into
+the FTL mapping table or the NAND array is exercising state a real host
+could never touch, and silently skips the timing and crash-site
+machinery on the device boundary.
+
+Config dataclasses are exchanged across the boundary by construction,
+so ``from repro.ssd.firmware... import SomethingConfig`` is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+
+#: Module prefixes considered host-side.
+HOST_PREFIXES = (
+    "repro.fs",
+    "repro.host",
+    "repro.kv",
+    "repro.workloads",
+    "repro.bench",
+    "repro.core",
+    "repro.cli",
+    "repro.__main__",
+)
+
+#: Device-internal module prefixes host code must not import.
+DEVICE_INTERNAL_PREFIXES = (
+    "repro.nand.chip",
+    "repro.ftl.ftl",
+    "repro.ftl.mapping",
+    "repro.ssd.firmware",
+    "repro.sim.resources",
+)
+
+RULE = "LAY001"
+
+
+def _is_host(name: str) -> bool:
+    return any(
+        name == p or name.startswith(p + ".") for p in HOST_PREFIXES
+    )
+
+
+def _is_internal(name: str) -> bool:
+    return any(
+        name == p or name.startswith(p + ".")
+        for p in DEVICE_INTERNAL_PREFIXES
+    )
+
+
+def check_layering(module) -> List[Finding]:
+    if not _is_host(module.name):
+        return []
+    out: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_internal(alias.name):
+                    out.append(Finding(
+                        RULE, module.display, node.lineno, node.col_offset,
+                        f"host-layer module imports device internals "
+                        f"{alias.name}; go through repro.ssd.device instead",
+                    ))
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level and _is_internal(node.module):
+            offenders = [
+                a.name for a in node.names if not a.name.endswith("Config")
+            ]
+            if offenders:
+                out.append(Finding(
+                    RULE, module.display, node.lineno, node.col_offset,
+                    f"host-layer module imports {', '.join(offenders)} from "
+                    f"device internals {node.module}; only *Config "
+                    "dataclasses cross the boundary — go through "
+                    "repro.ssd.device instead",
+                ))
+    return out

@@ -1,0 +1,45 @@
+"""Suppression comments: ``# repro: allow[RULE]``.
+
+A finding is suppressed when its line carries an allow comment naming
+its rule id, or when the line immediately above is a standalone allow
+comment::
+
+    victims = set(candidates)
+    for b in victims:  # repro: allow[DET003]
+        ...
+
+    # repro: allow[DET003]
+    for b in victims:
+        ...
+
+Several rules may be listed, comma-separated: ``allow[DET001,DET002]``.
+For CS001 only, an allow comment on a ``def`` line exempts the whole
+function (used for recovery paths, which run with the injector
+disarmed).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def suppression_map(source_lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, text in enumerate(source_lines, start=1):
+        m = _ALLOW_RE.search(text)
+        if m is None:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        out.setdefault(i, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            # Standalone comment: also covers the next line.
+            out.setdefault(i + 1, set()).update(rules)
+    return out
+
+
+def is_suppressed(supp: Dict[int, Set[str]], line: int, rule: str) -> bool:
+    return rule in supp.get(line, ())

@@ -8,6 +8,8 @@ Usage::
     python -m repro compare --workload create
     python -m repro crashsweep --fs bytefs --max-sites 100
     python -m repro crashsweep --fs ext4 --site 42 --torn
+    python -m repro lint
+    python -m repro lint src/repro/fs --format=json
 """
 
 from __future__ import annotations
@@ -111,6 +113,27 @@ def _cmd_crashsweep(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.linter import lint_paths, render_json, render_text
+
+    paths = [Path(p) for p in args.paths] if args.paths else [
+        Path(repro.__file__).parent
+    ]
+    rules = [r.strip() for r in args.rules.split(",")] if args.rules else []
+    try:
+        result = lint_paths(paths, rules)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,12 +179,29 @@ def main(argv: Optional[list] = None) -> int:
         help="with --site: inject the torn-write variant",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="static-analysis passes (crash-site, determinism, layering)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint; default: installed repro pkg",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    lint_p.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "compare": _cmd_compare,
         "crashsweep": _cmd_crashsweep,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -388,7 +388,7 @@ class OracleFS:
         frontier = {base}
         for op in pending:
             nxt = set(frontier)
-            for s in frontier:
+            for s in sorted(frontier):
                 if isinstance(op, _Write):
                     nxt.add(max(s, op.offset + len(op.data)))
                 elif isinstance(op, _Trunc):

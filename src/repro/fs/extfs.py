@@ -515,7 +515,9 @@ class ExtFS(BaseFileSystem):
             queue.add(b)
             if self.jbd2 is not None:
                 self.jbd2.forget(b)
-        for g in groups:
+        # Sorted so bitmap persists hit the device in a replayable order
+        # regardless of hash seed (lint DET003).
+        for g in sorted(groups):
             self._persist_bitmap_bit(False, g * 64 * 8)
 
     def _flush_trims(self, trim_key: Optional[int]) -> None:

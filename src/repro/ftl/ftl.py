@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis import fssan
 from repro.ftl.mapping import PageMap
 from repro.nand.chip import FlashArray, FlashError
 from repro.nand.geometry import FlashGeometry
@@ -253,6 +254,13 @@ class FTL:
             self._blocks[self.geometry.block_id_of(new_ppa)].valid += 1
             self.stats.record_flash(
                 StructKind.OTHER, Direction.WRITE, self.geometry.page_size
+            )
+        if fssan.ENABLED:
+            fssan.check_gc_victim_clear(
+                self.page_map.reverse,
+                base,
+                self.geometry.pages_per_block,
+                victim.block_id,
             )
         self.channels.occupy(ch, self.clock.now, self.timing.flash_erase_ns)
         self.flash.erase_block(victim.block_id)

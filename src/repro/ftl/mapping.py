@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.analysis import fssan
+
 
 class PageMap:
     """LPA -> PPA map plus the PPA -> LPA reverse map GC needs."""
@@ -21,11 +23,15 @@ class PageMap:
     def bind(self, lpa: int, ppa: int) -> Optional[int]:
         """Map ``lpa`` to ``ppa``; return the PPA it previously mapped to
         (now invalid), or None."""
+        if fssan.ENABLED:
+            fssan.check_map_steal(self._p2l, lpa, ppa)
         old = self._l2p.get(lpa)
         if old is not None:
             self._p2l.pop(old, None)
         self._l2p[lpa] = ppa
         self._p2l[ppa] = lpa
+        if fssan.ENABLED:
+            fssan.check_map_bind(self._l2p, self._p2l, lpa, ppa)
         return old
 
     def unbind(self, lpa: int) -> Optional[int]:

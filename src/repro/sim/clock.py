@@ -13,6 +13,8 @@ All times are nanoseconds, held as floats.
 
 from __future__ import annotations
 
+from repro.analysis import fssan
+
 NSEC = 1.0
 USEC = 1_000.0
 MSEC = 1_000_000.0
@@ -66,17 +68,31 @@ class VirtualClock:
         """Charge ``ns`` nanoseconds to the current thread; return new now."""
         if ns < 0:
             raise ValueError(f"cannot advance by negative time {ns}")
+        old = self._times[self._cur]
         self._times[self._cur] += ns
         if self._times[self._cur] > self._max_seen:
             self._max_seen = self._times[self._cur]
+        if fssan.ENABLED:
+            fssan.check_clock_advance(
+                old, self._times[self._cur], self._max_seen
+            )
         return self._times[self._cur]
 
     def advance_to(self, t_ns: float) -> float:
         """Move the current thread forward to ``t_ns`` (no-op if in the past)."""
+        old = self._times[self._cur]
         if t_ns > self._times[self._cur]:
             self._times[self._cur] = t_ns
             if t_ns > self._max_seen:
                 self._max_seen = t_ns
+        if fssan.ENABLED:
+            if t_ns != t_ns:  # NaN compares false above and would be lost
+                raise fssan.SanitizerError(
+                    fssan.CLOCK, "advance_to(NaN) would silently no-op"
+                )
+            fssan.check_clock_advance(
+                old, self._times[self._cur], self._max_seen
+            )
         return self._times[self._cur]
 
     def time_of(self, tid: int) -> float:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.analysis import fssan
+
 
 class Resource:
     """A single-server resource with a busy-until timeline."""
@@ -25,6 +27,10 @@ class Resource:
         """Serve a foreground request; return its completion time."""
         begin = max(start_ns, self.busy_until)
         end = begin + duration_ns
+        if fssan.ENABLED:
+            fssan.check_resource_serve(
+                self.name, self.busy_until, duration_ns, end
+            )
         self.busy_until = end
         self.total_busy_ns += duration_ns
         return end

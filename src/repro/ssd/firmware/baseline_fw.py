@@ -99,6 +99,11 @@ class BaselineFirmware:
             # Evict the least-recently-used page; flush it first if dirty.
             lpa, page = next(iter(self._cache.items()))
             if page.dirty:
+                # Cache-pressure evictions happen on the read path too, so
+                # they are a device-visible mutation in their own right
+                # (found by `repro lint` CS001): crash between the flash
+                # program and the cache drop must leave the page readable.
+                self.faults.point("basefw.evict")
                 self.ftl.write_page(
                     lpa, bytes(page.data), StructKind.OTHER, background=True
                 )
@@ -242,8 +247,12 @@ class BaselineFirmware:
     def power_fail(self) -> None:
         self.stats.bump("fw_power_failures")
 
-    def recover(self) -> Dict[str, float]:
-        """Battery flush: write every dirty cached page back to flash."""
+    def recover(self) -> Dict[str, float]:  # repro: allow[CS001]
+        """Battery flush: write every dirty cached page back to flash.
+
+        Recovery runs after the sweep driver disarms the injector, so its
+        device writes are deliberately not crash sites (CS001 suppressed).
+        """
         t0 = self.clock.now
         flushed = 0
         for lpa, page in list(self._cache.items()):
@@ -265,6 +274,9 @@ class BaselineFirmware:
     def force_clean(self) -> None:
         for lpa, page in list(self._cache.items()):
             if page.dirty:
+                # Unmount/sync flushes run with power on, so each dirty
+                # page drained is a numbered crash site (lint CS001).
+                self.faults.point("basefw.flush")
                 self.ftl.write_page(
                     lpa, bytes(page.data), StructKind.OTHER, background=True
                 )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import fssan
 from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.ftl import FTL
 from repro.nand.timing import TimingModel
@@ -325,6 +326,18 @@ class ByteFSFirmware:
             base = bytes(self.page_size)
         committed.sort(key=lambda c: (self.txlog.commit_position(c.txid)
                                       if c.txid is not None else -1, c.seq))
+        if fssan.ENABLED:
+            fssan.check_commit_ordered(
+                [
+                    (
+                        self.txlog.commit_position(c.txid)
+                        if c.txid is not None
+                        else -1,
+                        c.seq,
+                    )
+                    for c in committed
+                ]
+            )
         merged = self._merge(base, committed)
 
         def _flush(k: int) -> None:
@@ -354,6 +367,11 @@ class ByteFSFirmware:
         """
         live = set(self._tx_refs)
         remaining = [t for t in self.txlog.committed_in_order() if t in live]
+        if fssan.ENABLED:
+            fssan.check_txlog_prune(
+                (t for t in sorted(live) if self.txlog.is_committed(t)),
+                remaining,
+            )
         self.txlog.replace(remaining)
 
     def force_clean(self) -> None:
@@ -377,11 +395,13 @@ class ByteFSFirmware:
         """Battery-backed DRAM: the log, index, and TxLog survive as-is."""
         self.stats.bump("fw_power_failures")
 
-    def recover(self) -> Dict[str, float]:
+    def recover(self) -> Dict[str, float]:  # repro: allow[CS001]
         """Handle RECOVER(): scan the log, discard uncommitted entries,
         flush committed ones in commit order, reset log and TxLog (§4.7).
 
         Returns recovery statistics including the simulated duration.
+        Recovery runs after the sweep driver disarms the injector, so its
+        device writes are deliberately not crash sites (CS001 suppressed).
         """
         t0 = self.clock.now
         scanned = 0
@@ -410,6 +430,18 @@ class ByteFSFirmware:
                     c.seq,
                 )
             )
+            if fssan.ENABLED:
+                fssan.check_commit_ordered(
+                    [
+                        (
+                            self.txlog.commit_position(c.txid)
+                            if c.txid is not None
+                            else -1,
+                            c.seq,
+                        )
+                        for c in chunks
+                    ]
+                )
             if not self._covers(chunks, 0, self.page_size):
                 base = self.ftl.read_page(lpa, StructKind.OTHER, background=False)
             else:

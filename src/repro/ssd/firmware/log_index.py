@@ -15,10 +15,11 @@ region, the length, and the transaction id (paper: offset 1 B, log offset
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.analysis import fssan
+from repro.sim.rng import make_rng
 from repro.ssd.firmware.skiplist import SkipList
 
 #: Bytes of index metadata per chunk entry (paper Fig 3: 1 + 4 + 4 + 4).
@@ -82,7 +83,7 @@ class LogIndex:
             1, -(-capacity_bytes // partition_bytes)
         )  # ceil div
         self._partitions: Dict[int, SkipList] = {}
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._n_chunks = 0
 
     # ------------------------------------------------------------------ #
@@ -94,11 +95,22 @@ class LogIndex:
         part = self._partition_of(lpa)
         sl = self._partitions.get(part)
         if sl is None and create:
-            sl = SkipList(random.Random(self._rng.random()))
+            # Derive each partition's level RNG from (seed, partition) so
+            # streams are independent of partition creation order.
+            sl = SkipList(make_rng(self._seed, f"logindex:{part}"))
             self._partitions[part] = sl
         return sl
 
     def insert(self, lpa: int, entry: ChunkEntry) -> None:
+        if fssan.ENABLED:
+            fssan.check_log_chunk(
+                lpa,
+                entry.offset,
+                entry.length,
+                self.page_size,
+                self._partition_of(lpa),
+                self.n_partitions,
+            )
         sl = self._skiplist(lpa, create=True)
         node = sl.get(lpa)
         if node is None:

@@ -15,6 +15,9 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro.analysis import fssan
+from repro.sim.rng import make_rng
+
 _MAX_LEVEL = 16
 _P = 0.5
 
@@ -32,7 +35,7 @@ class SkipList:
     """Ordered int -> value map with O(log n) expected operations."""
 
     def __init__(self, rng: Optional[random.Random] = None) -> None:
-        self._rng = rng or random.Random(0xB17EF5)
+        self._rng = rng if rng is not None else make_rng(0xB17EF5, "skiplist")
         self._head = _Node(-1, None, _MAX_LEVEL)
         self._level = 1
         self._len = 0
@@ -83,6 +86,8 @@ class SkipList:
             new.forward[lvl] = update[lvl].forward[lvl]
             update[lvl].forward[lvl] = new
         self._len += 1
+        if fssan.ENABLED:
+            fssan.check_skiplist(self._head, self._level, self._len)
 
     def delete(self, key: int) -> bool:
         """Remove ``key``; return whether it was present."""
@@ -101,6 +106,8 @@ class SkipList:
         while self._level > 1 and self._head.forward[self._level - 1] is None:
             self._level -= 1
         self._len -= 1
+        if fssan.ENABLED:
+            fssan.check_skiplist(self._head, self._level, self._len)
         return True
 
     def items(self) -> Iterator[Tuple[int, Any]]:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.analysis import fssan
+
 ENTRY_BYTES = 4
 
 
@@ -32,6 +34,8 @@ class TxLog:
             return  # idempotent commit
         self._positions[txid] = len(self._order)
         self._order.append(txid)
+        if fssan.ENABLED:
+            fssan.check_txlog_entry(self._order, self._positions, txid)
 
     def is_committed(self, txid: int) -> bool:
         return txid in self._positions

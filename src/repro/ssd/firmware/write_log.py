@@ -13,6 +13,7 @@ maps pages to entries.
 
 from __future__ import annotations
 
+from repro.analysis import fssan
 from repro.ssd.firmware.log_index import LogIndex
 
 ENTRY_ALIGN = 64
@@ -85,6 +86,8 @@ class LogRegion:
         off = self.tail
         self.tail = (self.tail + size) % self.capacity
         self.used += size
+        if fssan.ENABLED:
+            fssan.check_log_append(off, size, self.used, self.capacity)
         return off
 
     def reset(self) -> None:

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 import random
 
+from repro.sim.rng import make_rng
+
 
 class ZipfianGenerator:
     """Zipfian-distributed integers in [0, n); theta defaults to YCSB's
@@ -22,7 +24,7 @@ class ZipfianGenerator:
             raise ValueError("n must be >= 1")
         self.n = n
         self.theta = theta
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else make_rng(0, "zipfian")
         self.zetan = self._zeta(n, theta)
         self.zeta2 = self._zeta(2, theta)
         self.alpha = 1.0 / (1.0 - theta)
@@ -50,7 +52,7 @@ class LatestGenerator:
     """YCSB's 'latest' distribution: Zipfian over recency."""
 
     def __init__(self, n: int, rng: random.Random = None) -> None:
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else make_rng(0, "latest")
         self._max = n
         self._zipf = ZipfianGenerator(max(1, n), rng=self.rng)
 
@@ -66,7 +68,7 @@ class LatestGenerator:
 class UniformGenerator:
     def __init__(self, n: int, rng: random.Random = None) -> None:
         self.n = n
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else make_rng(0, "uniform")
 
     def next(self) -> int:
         return self.rng.randrange(self.n)

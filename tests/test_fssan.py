@@ -1,0 +1,160 @@
+"""FSSan runtime sanitizer: off-by-default, exercised, and trippable.
+
+One trip test per invariant class proves each contract is live (a check
+that can never fail is documentation, not a sanitizer), and the workload
+test proves a real ByteFS run actually reaches all five classes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fssan
+from repro.bench.harness import run_workload
+from repro.ftl.mapping import PageMap
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import Resource
+from repro.ssd.firmware.log_index import ChunkEntry, LogIndex
+from repro.ssd.firmware.skiplist import SkipList
+from repro.ssd.firmware.txlog import TxLog
+from repro.workloads import MicroCreate
+from tests.conftest import SMALL_GEOMETRY
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_state():
+    """Restore the global switch and counters around every test."""
+    prev = fssan.ENABLED
+    fssan.reset_counts()
+    yield
+    fssan.ENABLED = prev
+    fssan.reset_counts()
+
+
+def _chunk(offset: int, length: int, seq: int = 0) -> ChunkEntry:
+    return ChunkEntry(
+        offset=offset, length=length, log_off=0, txid=None, seq=seq,
+        data=b"x" * length,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# off by default
+# ---------------------------------------------------------------------- #
+
+def test_checks_are_noops_when_disabled():
+    fssan.disable()
+    pm = PageMap()
+    pm.bind(1, 50)
+    pm.bind(2, 50)          # steals PPA 50: would trip when enabled
+    log = TxLog()
+    log.commit(1)
+    log._order.append(99)   # corrupt: order/positions diverge
+    log.commit(2)
+    Resource("r").serve(0.0, -5.0)
+    assert fssan.COUNTS == {}
+
+
+def test_sanitized_context_restores_previous_state():
+    fssan.disable()
+    with fssan.sanitized():
+        assert fssan.ENABLED
+        with fssan.sanitized():
+            assert fssan.ENABLED
+        assert fssan.ENABLED
+    assert not fssan.ENABLED
+
+
+# ---------------------------------------------------------------------- #
+# one trip test per invariant class
+# ---------------------------------------------------------------------- #
+
+def test_trip_log_chunk_outside_page():
+    index = LogIndex(capacity_bytes=1 << 20, page_size=4096)
+    with fssan.sanitized():
+        index.insert(3, _chunk(offset=0, length=64))  # fine
+        with pytest.raises(fssan.SanitizerError) as exc:
+            index.insert(3, _chunk(offset=4000, length=200, seq=1))
+    assert exc.value.invariant == fssan.LOG
+
+
+def test_trip_log_chunk_negative_lpa():
+    index = LogIndex(capacity_bytes=1 << 20, page_size=4096)
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError) as exc:
+            index.insert(-4, _chunk(offset=0, length=64))
+    assert exc.value.invariant == fssan.LOG
+
+
+def test_trip_skiplist_corrupted_order():
+    sl = SkipList()
+    for k in range(8):
+        sl.insert(k, str(k))
+    sl._head.forward[0].key = 1000  # corrupt: level 0 no longer sorted
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError) as exc:
+            sl.insert(20, "x")
+    assert exc.value.invariant == fssan.SKIP
+
+
+def test_trip_ftl_double_bind_steals_live_page():
+    pm = PageMap()
+    with fssan.sanitized():
+        pm.bind(1, 50)
+        with pytest.raises(fssan.SanitizerError) as exc:
+            pm.bind(2, 50)  # PPA 50 still live under LPA 1
+    assert exc.value.invariant == fssan.FTL
+
+
+def test_trip_txlog_order_positions_diverge():
+    log = TxLog()
+    with fssan.sanitized():
+        log.commit(1)
+        log._order.append(99)  # corrupt behind the position map's back
+        with pytest.raises(fssan.SanitizerError) as exc:
+            log.commit(2)
+    assert exc.value.invariant == fssan.TX
+
+
+def test_trip_resource_negative_duration():
+    res = Resource("flash-ch0")
+    with fssan.sanitized():
+        res.serve(0.0, 10.0)
+        with pytest.raises(fssan.SanitizerError) as exc:
+            res.serve(0.0, -5.0)
+    assert exc.value.invariant == fssan.CLOCK
+
+
+def test_trip_clock_advance_to_nan():
+    clock = VirtualClock(1)
+    with fssan.sanitized():
+        clock.advance(10.0)
+        with pytest.raises(fssan.SanitizerError) as exc:
+            clock.advance_to(float("nan"))
+    assert exc.value.invariant == fssan.CLOCK
+
+
+# ---------------------------------------------------------------------- #
+# the contracts are exercised by a real run
+# ---------------------------------------------------------------------- #
+
+def test_bytefs_workload_exercises_all_invariant_classes():
+    """A small ByteFS run must pass through every FSSAN class at least
+    once — otherwise the sanitizer silently stopped covering a layer."""
+    with fssan.sanitized():
+        run_workload(
+            "bytefs",
+            MicroCreate(n_files=32, n_threads=2),
+            geometry=SMALL_GEOMETRY,
+            unmount=True,
+        )
+    missing = [c for c in fssan.ALL_CLASSES if fssan.COUNTS.get(c, 0) == 0]
+    assert not missing, f"invariant classes never checked: {missing}"
+
+
+def test_counts_attribute_checks_to_the_right_class():
+    pm = PageMap()
+    with fssan.sanitized():
+        pm.bind(1, 50)
+    assert fssan.COUNTS.get(fssan.FTL, 0) >= 1
+    assert fssan.COUNTS.get(fssan.TX, 0) == 0
