@@ -30,6 +30,13 @@ from repro.analysis.findings import Finding
 DET001_EXEMPT = ("repro.sim.clock",)
 DET002_EXEMPT = ("repro.sim.rng",)
 
+#: Packages registered as blessed *clock consumers*: subsystems whose
+#: whole job is reading timestamps (the span tracer stamps every record
+#: with virtual time).  They are audited once, here, to take time only
+#: from the VirtualClock — so DET001 exempts the package by prefix and
+#: instrumentation never needs per-site suppressions.
+DET001_CONSUMERS = ("repro.trace",)
+
 WALL_CLOCK = {
     "time.time",
     "time.time_ns",
@@ -114,9 +121,15 @@ def _module_is(name: str, exempt: tuple) -> bool:
     return any(name == e for e in exempt)
 
 
+def _module_in(name: str, packages: tuple) -> bool:
+    """True when ``name`` is one of ``packages`` or nested inside one."""
+    return any(name == p or name.startswith(p + ".") for p in packages)
+
+
 def check_wall_clock(module) -> List[Finding]:
     """DET001: wall-clock reads outside repro.sim.clock."""
-    if _module_is(module.name, DET001_EXEMPT):
+    if _module_is(module.name, DET001_EXEMPT) \
+            or _module_in(module.name, DET001_CONSUMERS):
         return []
     table = _ImportTable(module.tree)
     out = []

@@ -6,10 +6,20 @@ Threads are interleaved event-driven: the runner always advances the
 logical thread whose virtual clock is furthest behind, so device-level
 contention (shared flash channels, the PCIe link, the firmware core)
 shapes the aggregate throughput exactly as in a real multi-threaded run.
+
+With ``traced=True`` (or ``REPRO_TRACE=1`` in the environment) the
+measured loop runs under an activated :class:`repro.trace.Tracer`: each
+workload op becomes a root span whose start/end are the exact clock
+reads that feed the :class:`LatencyRecorder`, so root span duration and
+recorded latency agree to the float bit.  ``REPRO_TRACE`` attaches a
+metrics-only tracer (histograms, no span retention) so long CI runs stay
+memory-bounded; ``traced=True`` keeps the full span tree on
+``RunResult.trace``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -24,6 +34,8 @@ from repro.stats.traffic import (
     StructKind,
     TrafficStats,
 )
+from repro.trace import tracer as trace
+from repro.trace.tracer import Tracer
 from repro.workloads.base import Workload
 
 #: 256 MB of emulated flash: ample for the scaled-down workloads while
@@ -60,6 +72,10 @@ class RunResult:
     #: per-StructKind host<->SSD bytes (Figure 1/8/9 breakdowns)
     write_breakdown: Dict[StructKind, int] = field(default_factory=dict)
     read_breakdown: Dict[StructKind, int] = field(default_factory=dict)
+    #: JSON-ready traffic aggregates (TrafficStats.to_json)
+    traffic: Dict[str, Dict] = field(default_factory=dict)
+    #: the tracer used for the measured loop, when tracing was on
+    trace: Optional[Tracer] = None
 
     @property
     def throughput(self) -> float:
@@ -84,6 +100,49 @@ class RunResult:
     def read_amplification(self) -> float:
         return self.host_read / self.app_read if self.app_read else float("nan")
 
+    def to_json(self) -> Dict:
+        """A JSON-serialisable summary (``repro run --format=json``)."""
+
+        def _num(x: float) -> Optional[float]:
+            return None if isinstance(x, float) and not math.isfinite(x) else x
+
+        return {
+            "fs": self.fs_name,
+            "workload": self.workload,
+            "ops": self.ops,
+            "elapsed_s": self.elapsed_s,
+            "throughput_ops_s": _num(self.throughput),
+            "write_amplification": _num(self.write_amplification),
+            "read_amplification": _num(self.read_amplification),
+            "bytes": {
+                "meta_write": self.meta_write,
+                "meta_read": self.meta_read,
+                "data_write": self.data_write,
+                "data_read": self.data_read,
+                "byte_write": self.byte_write,
+                "block_write": self.block_write,
+                "flash_read": self.flash_read,
+                "flash_write": self.flash_write,
+                "app_write": self.app_write,
+                "app_read": self.app_read,
+            },
+            "write_breakdown": {
+                k.value: n for k, n in sorted(
+                    self.write_breakdown.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "read_breakdown": {
+                k.value: n for k, n in sorted(
+                    self.read_breakdown.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "latency": {
+                op: {k: _num(v) for k, v in self.latency.summary(op).items()}
+                for op in self.latency.ops()
+            },
+            "traffic": self.traffic,
+        }
+
 
 def run_workload(
     fs_name: str,
@@ -94,12 +153,17 @@ def run_workload(
     device_cache_bytes: int = 1 << 20,
     page_cache_pages: int = 512,
     unmount: bool = False,
+    traced: bool = False,
 ) -> RunResult:
     """Build a fresh stack, run the workload, and collect metrics.
 
     The device DRAM defaults (1 MB write log / 1 MB baseline page cache)
     scale the paper's 256 MB SSD DRAM down by the same factor as the
     workloads, so cache/log pressure appears at the same relative point.
+
+    ``traced=True`` records the full span tree of the measured loop on
+    ``RunResult.trace``; when the ``REPRO_TRACE`` environment variable is
+    set, every run gets a metrics-only tracer instead (histograms only).
     """
     clock, stats, device, fs = build_stack(
         fs_name,
@@ -115,22 +179,20 @@ def run_workload(
     clock.sync_all()
     stats.reset()
     t0 = clock.elapsed_ns
-    flash_reads0 = device.flash.reads
     latency = LatencyRecorder()
+    tracer: Optional[Tracer] = None
+    if traced:
+        tracer = Tracer(clock, keep_spans=True)
+    elif trace.AUTO:
+        tracer = Tracer(clock, keep_spans=False)
     gens = {tid: gen for tid, gen in enumerate(workload.make_threads(fs))}
     ops = 0
-    while gens:
-        # Advance the thread that is furthest behind.
-        tid = min(gens, key=clock.time_of)
-        clock.switch(tid)
-        t_start = clock.now
-        try:
-            op_name = next(gens[tid])
-        except StopIteration:
-            del gens[tid]
-            continue
-        latency.record(op_name, clock.now - t_start)
-        ops += 1
+    if tracer is not None:
+        with trace.activated(tracer):
+            ops = _measured_loop(clock, gens, latency, tracer)
+        tracer.close_all()
+    else:
+        ops = _measured_loop(clock, gens, latency, None)
     workload.teardown(fs)
     if unmount:
         fs.unmount()
@@ -162,4 +224,41 @@ def run_workload(
         counters=dict(stats.counters),
         write_breakdown=stats.breakdown(Direction.WRITE),
         read_breakdown=stats.breakdown(Direction.READ),
+        traffic=stats.to_json(),
+        trace=tracer,
     )
+
+
+def _measured_loop(clock, gens, latency, tracer: Optional[Tracer]) -> int:
+    """Advance the furthest-behind thread until every generator drains.
+
+    When tracing, each op is wrapped in a root span opened and closed at
+    the exact same clock reads the latency recorder uses, and named after
+    the op the generator reports — so ``root.duration_ns`` equals the
+    recorded latency exactly.
+    """
+    ops = 0
+    while gens:
+        # Advance the thread that is furthest behind.
+        tid = min(gens, key=clock.time_of)
+        clock.switch(tid)
+        t_start = clock.now
+        root = tracer.begin("workload", "op") if tracer is not None else None
+        try:
+            op_name = next(gens[tid])
+        except StopIteration:
+            if root is not None:
+                # The generator's tail (teardown between the last yield
+                # and StopIteration) may have traced real work under this
+                # root; keep it as an explicit drain span so no child is
+                # left with a dangling parent.
+                root.op = "drain"
+                tracer.end(root)
+            del gens[tid]
+            continue
+        if root is not None:
+            root.op = op_name
+            tracer.end(root)
+        latency.record(op_name, clock.now - t_start)
+        ops += 1
+    return ops

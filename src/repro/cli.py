@@ -10,11 +10,15 @@ Usage::
     python -m repro crashsweep --fs ext4 --site 42 --torn
     python -m repro lint
     python -m repro lint src/repro/fs --format=json
+    python -m repro trace create --ssd bytefs --out trace.json
+    python -m repro trace varmail --out trace.jsonl --format=jsonl \\
+        --report critical-path
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, Optional
 
@@ -52,6 +56,9 @@ def _cmd_run(args) -> int:
         log_bytes=args.log_bytes,
         device_cache_bytes=args.device_cache_bytes,
     )
+    if args.format == "json":
+        print(json.dumps(result.to_json(), sort_keys=True, indent=2))
+        return 0
     rows = [
         ("throughput (ops/s)", result.throughput),
         ("simulated time (ms)", result.elapsed_s * 1000),
@@ -113,6 +120,45 @@ def _cmd_crashsweep(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.trace.export import (
+        to_chrome_json,
+        validate_chrome,
+        write_chrome,
+        write_jsonl,
+    )
+    from repro.trace.report import render_breakdown, render_critical_path
+
+    wl = _make_workload(args.workload)
+    result = run_workload(
+        args.fs, wl,
+        log_bytes=args.log_bytes,
+        device_cache_bytes=args.device_cache_bytes,
+        traced=True,
+    )
+    tracer = result.trace
+    meta = {"fs": args.fs, "workload": args.workload}
+    if args.out:
+        if args.format == "jsonl":
+            write_jsonl(tracer, args.out, meta)
+        else:
+            write_chrome(tracer, args.out, meta)
+            problems = validate_chrome(to_chrome_json(tracer, meta))
+            if problems:  # pragma: no cover - exporter bug guard
+                for p in problems:
+                    print(f"schema error: {p}", file=sys.stderr)
+                return 1
+        print(
+            f"wrote {len(tracer.spans)} spans / {len(tracer.events)} events "
+            f"to {args.out} ({args.format})"
+        )
+    if args.report == "breakdown":
+        print(render_breakdown(tracer))
+    elif args.report == "critical-path":
+        print(render_critical_path(tracer))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -148,6 +194,36 @@ def main(argv: Optional[list] = None) -> int:
     run_p.add_argument("--workload", default="varmail")
     run_p.add_argument("--log-bytes", type=int, default=1 << 20)
     run_p.add_argument("--device-cache-bytes", type=int, default=1 << 20)
+    run_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json: machine-readable run report (RunResult.to_json)",
+    )
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one workload with span tracing and export the trace",
+    )
+    tr_p.add_argument("workload", help="workload name (see `repro list`)")
+    tr_p.add_argument(
+        "--fs", "--ssd", dest="fs", default="bytefs",
+        choices=sorted(FIRMWARE_FOR),
+    )
+    tr_p.add_argument(
+        "--out", default=None,
+        help="output path; format chosen by --format",
+    )
+    tr_p.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome: Perfetto-loadable trace_event JSON; "
+             "jsonl: one span/event per line",
+    )
+    tr_p.add_argument(
+        "--report", choices=("breakdown", "critical-path", "none"),
+        default="breakdown",
+        help="latency-attribution report printed after the run",
+    )
+    tr_p.add_argument("--log-bytes", type=int, default=1 << 20)
+    tr_p.add_argument("--device-cache-bytes", type=int, default=1 << 20)
 
     cmp_p = sub.add_parser("compare", help="compare systems on a workload")
     cmp_p.add_argument("--workload", default="create")
@@ -202,6 +278,7 @@ def main(argv: Optional[list] = None) -> int:
         "compare": _cmd_compare,
         "crashsweep": _cmd_crashsweep,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

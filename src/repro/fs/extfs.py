@@ -48,6 +48,7 @@ from repro.fs.vfs import BaseFileSystem, Stat
 from repro.host.page_cache import CachedPage, PageCache
 from repro.ssd.device import MSSD
 from repro.stats.traffic import StructKind
+from repro.trace import tracer as trace
 
 
 @dataclass
@@ -986,11 +987,32 @@ class ExtFS(BaseFileSystem):
         txid: Optional[int],
         journal_ok: bool = True,
     ) -> None:
+        if not trace.ENABLED:
+            self._writeback_page_inner(ino, pidx, page, txid, journal_ok)
+            return
+        _sp = trace.begin("pagecache", "writeback", ino=ino, pidx=pidx)
+        try:
+            policy = self._writeback_page_inner(
+                ino, pidx, page, txid, journal_ok
+            )
+            _sp.attrs = dict(_sp.attrs or {}, policy=policy)
+        finally:
+            trace.end(_sp)
+
+    def _writeback_page_inner(
+        self,
+        ino: int,
+        pidx: int,
+        page: CachedPage,
+        txid: Optional[int],
+        journal_ok: bool = True,
+    ) -> str:
+        """§4.6 interface selection; returns the policy taken."""
         inode = self._get_inode(ino)
         blk = self._block_of(inode, pidx)
         if blk is None:
             page.clean()
-            return
+            return "none"
         if self.cfg.data_byte_policy and page.original is not None:
             # XOR the duplicate against the page to find dirty lines.
             self.clock.advance(self.timing.xor_page_ns)
@@ -1005,17 +1027,18 @@ class ExtFS(BaseFileSystem):
                     )
                 page.clean()
                 self.stats.bump("bytefs_byte_writebacks")
-                return
+                return "byte"
         if self.cfg.data_journal and self.jbd2 is not None and journal_ok:
             # Data journaling: the image goes to the journal at commit and
             # in place only at checkpoint (double write, §4.6).
             self.jbd2.mark_dirty_data(blk, bytes(page.data))
             page.clean()
             self.stats.bump("journaled_data_writebacks")
-            return
+            return "journal"
         self.device.write_blocks(blk, bytes(page.data), StructKind.DATA)
         page.clean()
         self.stats.bump("block_writebacks")
+        return "block"
 
     def _evict_writeback(self, ino: int, pidx: int, page: CachedPage) -> None:
         # Evictions bypass the data journal: the page may be re-read from

@@ -13,6 +13,7 @@ from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
 from repro.sim.resources import ChannelArray
 from repro.stats.traffic import Direction, StructKind, TrafficStats
+from repro.trace import tracer as trace
 
 
 @dataclass(frozen=True)
@@ -85,18 +86,32 @@ class FTL:
         background: bool = False,
     ) -> bytes:
         """Read the flash page backing ``lpa`` (zeros if never written)."""
-        ppa = self.page_map.lookup(lpa)
-        self.stats.record_flash(kind, Direction.READ, self.geometry.page_size)
-        if ppa is None:
-            # Unwritten logical page: no flash op needed, data is zeros.
-            return bytes(self.geometry.page_size)
-        ch = self.geometry.channel_of(ppa)
-        end = self.channels.serve(
-            ch, self.clock.now, self.timing.flash_read_ns
-        )
-        if not background:
-            self.clock.advance_to(end)
-        return self.flash.read_page(ppa)
+        _sp = trace.begin("ftl", "read_page", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            ppa = self.page_map.lookup(lpa)
+            self.stats.record_flash(
+                kind, Direction.READ, self.geometry.page_size
+            )
+            if ppa is None:
+                # Unwritten logical page: no flash op needed, data is zeros.
+                return bytes(self.geometry.page_size)
+            ch = self.geometry.channel_of(ppa)
+            end = self.channels.serve(
+                ch, self.clock.now, self.timing.flash_read_ns
+            )
+            if trace.ENABLED:
+                trace.span_at(
+                    "nand", "flash_read",
+                    end - self.timing.flash_read_ns, end,
+                    background=background, ch=ch,
+                )
+            if not background:
+                self.clock.advance_to(end)
+            return self.flash.read_page(ppa)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def read_pages(
         self,
@@ -107,24 +122,36 @@ class FTL:
         """Read several pages in parallel: all flash reads are issued from
         the same start time and stripe across channels; the caller waits
         only for the slowest one."""
-        start = self.clock.now
-        datas: List[bytes] = []
-        max_end = start
-        for lpa in lpas:
-            self.stats.record_flash(
-                kind, Direction.READ, self.geometry.page_size
-            )
-            ppa = self.page_map.lookup(lpa)
-            if ppa is None:
-                datas.append(bytes(self.geometry.page_size))
-                continue
-            ch = self.geometry.channel_of(ppa)
-            end = self.channels.serve(ch, start, self.timing.flash_read_ns)
-            max_end = max(max_end, end)
-            datas.append(self.flash.read_page(ppa))
-        if not background:
-            self.clock.advance_to(max_end)
-        return datas
+        _sp = trace.begin("ftl", "read_pages", n_pages=len(lpas)) \
+            if trace.ENABLED else None
+        try:
+            start = self.clock.now
+            datas: List[bytes] = []
+            max_end = start
+            for lpa in lpas:
+                self.stats.record_flash(
+                    kind, Direction.READ, self.geometry.page_size
+                )
+                ppa = self.page_map.lookup(lpa)
+                if ppa is None:
+                    datas.append(bytes(self.geometry.page_size))
+                    continue
+                ch = self.geometry.channel_of(ppa)
+                end = self.channels.serve(ch, start, self.timing.flash_read_ns)
+                if trace.ENABLED:
+                    trace.span_at(
+                        "nand", "flash_read",
+                        end - self.timing.flash_read_ns, end,
+                        background=background, ch=ch,
+                    )
+                max_end = max(max_end, end)
+                datas.append(self.flash.read_page(ppa))
+            if not background:
+                self.clock.advance_to(max_end)
+            return datas
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def write_page(
         self,
@@ -139,11 +166,28 @@ class FTL:
         write buffer (the foreground stalls only if the buffer is full),
         matching how both firmware variants hide flash program latency.
         """
+        _sp = trace.begin("ftl", "write_page", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            self._write_page(lpa, data, kind, background)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _write_page(
+        self, lpa: int, data: bytes, kind: StructKind, background: bool
+    ) -> None:
         self._reserve_buffer_slot()
         ppa, ch = self._allocate_ppa()
         end = self.channels.occupy(
             ch, self.clock.now, self.timing.flash_write_ns
         )
+        if trace.ENABLED:
+            trace.span_at(
+                "nand", "flash_program",
+                end - self.timing.flash_write_ns, end,
+                background=background, ch=ch,
+            )
         self._inflight.append(end)
         if not background:
             self.clock.advance_to(end)
@@ -229,6 +273,15 @@ class FTL:
             self._in_gc = False
 
     def _collect_block(self, ch: int, victim: "_BlockState") -> None:
+        _sp = trace.begin("ftl", "gc", ch=ch, block=victim.block_id) \
+            if trace.ENABLED else None
+        try:
+            self._collect_block_inner(ch, victim)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _collect_block_inner(self, ch: int, victim: "_BlockState") -> None:
         self.gc_runs += 1
         base = self.geometry.block_base_ppa(victim.block_id)
         # Migrate still-valid pages (background reads + writes).
@@ -236,7 +289,15 @@ class FTL:
             lpa = self.page_map.reverse(ppa)
             if lpa is None:
                 continue
-            self.channels.occupy(ch, self.clock.now, self.timing.flash_read_ns)
+            end = self.channels.occupy(
+                ch, self.clock.now, self.timing.flash_read_ns
+            )
+            if trace.ENABLED:
+                trace.span_at(
+                    "nand", "flash_read",
+                    end - self.timing.flash_read_ns, end,
+                    background=True, ch=ch,
+                )
             data = self.flash.read_page(ppa)
             self.stats.record_flash(
                 StructKind.OTHER, Direction.READ, self.geometry.page_size
@@ -246,9 +307,15 @@ class FTL:
             # Re-write through normal allocation on any channel but the
             # victim's being-erased block.
             new_ppa, new_ch = self._allocate_ppa()
-            self.channels.occupy(
+            end = self.channels.occupy(
                 new_ch, self.clock.now, self.timing.flash_write_ns
             )
+            if trace.ENABLED:
+                trace.span_at(
+                    "nand", "flash_program",
+                    end - self.timing.flash_write_ns, end,
+                    background=True, ch=new_ch,
+                )
             self.flash.program_page(new_ppa, data)
             self.page_map.bind(lpa, new_ppa)
             self._blocks[self.geometry.block_id_of(new_ppa)].valid += 1
@@ -262,7 +329,15 @@ class FTL:
                 self.geometry.pages_per_block,
                 victim.block_id,
             )
-        self.channels.occupy(ch, self.clock.now, self.timing.flash_erase_ns)
+        end = self.channels.occupy(
+            ch, self.clock.now, self.timing.flash_erase_ns
+        )
+        if trace.ENABLED:
+            trace.span_at(
+                "nand", "erase",
+                end - self.timing.flash_erase_ns, end,
+                background=True, ch=ch,
+            )
         self.flash.erase_block(victim.block_id)
         self._blocks.pop(victim.block_id, None)
         self._free_blocks[ch].append(victim.block_id)
@@ -294,6 +369,10 @@ class FTL:
         self._inflight = [t for t in self._inflight if t > now]
         while len(self._inflight) >= self.config.write_buffer_pages:
             earliest = min(self._inflight)
+            if trace.ENABLED and earliest > self.clock.now:
+                trace.note_wait(
+                    "ftl-write-buffer", earliest - self.clock.now, 0.0
+                )
             self.clock.advance_to(earliest)
             self.stats.bump("write_buffer_stalls")
             now = self.clock.now

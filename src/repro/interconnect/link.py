@@ -7,6 +7,7 @@ import math
 from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
 from repro.sim.resources import Pipeline, Resource
+from repro.trace import tracer as trace
 
 CACHELINE = 64
 
@@ -41,6 +42,8 @@ class HostLink:
     def mmio_read(self, nbytes: int) -> None:
         """Load ``nbytes`` via MMIO: each cacheline pays the full round
         trip, with up to ``mmio_read_parallelism`` loads in flight."""
+        _sp = trace.begin("link", "mmio_read", nbytes=nbytes) \
+            if trace.ENABLED else None
         lines = max(1, math.ceil(nbytes / CACHELINE))
         end = self.clock.now
         for _ in range(lines):
@@ -50,15 +53,21 @@ class HostLink:
             )
         self.mmio_reads += lines
         self.clock.advance_to(end)
+        if _sp is not None:
+            trace.end(_sp)
 
     def mmio_write(self, nbytes: int) -> None:
         """Store ``nbytes`` via MMIO.  Posted: writes pipeline."""
+        _sp = trace.begin("link", "mmio_write", nbytes=nbytes) \
+            if trace.ENABLED else None
         lines = max(1, math.ceil(nbytes / CACHELINE))
         end = self.clock.now
         for _ in range(lines):
             end = self._posted.serve(self.clock.now, self.timing.mmio_write_ns)
         self.mmio_writes += lines
         self.clock.advance_to(end)
+        if _sp is not None:
+            trace.end(_sp)
 
     def persist_barrier(self, nlines: int = 1) -> None:
         """clflush/clwb the written lines, then a write-verify read (§4.2).
@@ -66,9 +75,13 @@ class HostLink:
         The zero-byte non-posted read serializes behind all outstanding
         posted writes in the root complex, guaranteeing durability.
         """
+        _sp = trace.begin("link", "persist_barrier", nlines=nlines) \
+            if trace.ENABLED else None
         self.clock.advance(self.timing.persist_flush_ns * max(1, nlines))
         end = self._barrier.serve(self.clock.now, self.timing.mmio_read_ns)
         self.clock.advance_to(end)
+        if _sp is not None:
+            trace.end(_sp)
 
     def mmio_persist_write(self, nbytes: int) -> None:
         """Convenience: posted write + flush + write-verify read."""
@@ -81,12 +94,16 @@ class HostLink:
 
     def dma(self, nbytes: int, write: bool) -> None:
         """An NVMe data transfer: command overhead plus bytes/bandwidth."""
+        _sp = trace.begin("link", "dma", nbytes=nbytes, write=write) \
+            if trace.ENABLED else None
         duration = self.timing.nvme_cmd_ns + self.timing.dma_transfer_ns(
             nbytes, write
         )
         end = self._dma.serve(self.clock.now, duration)
         self.dma_transfers += 1
         self.clock.advance_to(end)
+        if _sp is not None:
+            trace.end(_sp)
 
     def reset(self) -> None:
         self._dma.reset()

@@ -13,13 +13,20 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.analysis import fssan
+from repro.trace import tracer as trace
 
 
 class Resource:
-    """A single-server resource with a busy-until timeline."""
+    """A single-server resource with a busy-until timeline.
 
-    def __init__(self, name: str) -> None:
+    ``group`` names the contention domain for latency attribution (all
+    lanes of a pipeline, all channels of an array share one group); it
+    defaults to the resource's own name.
+    """
+
+    def __init__(self, name: str, group: Optional[str] = None) -> None:
         self.name = name
+        self.group = group if group is not None else name
         self.busy_until = 0.0
         self.total_busy_ns = 0.0
 
@@ -31,6 +38,8 @@ class Resource:
             fssan.check_resource_serve(
                 self.name, self.busy_until, duration_ns, end
             )
+        if trace.ENABLED and begin > start_ns:
+            trace.note_wait(self.group, begin - start_ns, duration_ns)
         self.busy_until = end
         self.total_busy_ns += duration_ns
         return end
@@ -64,7 +73,7 @@ class ChannelArray:
         if n_channels < 1:
             raise ValueError("need at least one channel")
         self.channels: List[Resource] = [
-            Resource(f"{name}{i}") for i in range(n_channels)
+            Resource(f"{name}{i}", group=name) for i in range(n_channels)
         ]
 
     def __len__(self) -> int:
@@ -110,7 +119,9 @@ class Pipeline:
         if width < 1:
             raise ValueError("width must be >= 1")
         self.name = name
-        self._lanes = [Resource(f"{name}-lane{i}") for i in range(width)]
+        self._lanes = [
+            Resource(f"{name}-lane{i}", group=name) for i in range(width)
+        ]
 
     def serve(self, start_ns: float, duration_ns: float) -> float:
         lane = min(self._lanes, key=lambda r: r.busy_until)

@@ -30,6 +30,7 @@ from repro.sim.resources import ChannelArray
 from repro.ssd.firmware.baseline_fw import BaselineFirmware, BaselineFirmwareConfig
 from repro.ssd.firmware.bytefs_fw import ByteFSFirmware, ByteFSFirmwareConfig
 from repro.stats.traffic import Direction, Interface, StructKind, TrafficStats
+from repro.trace import tracer as trace
 
 
 @dataclass
@@ -121,14 +122,20 @@ class MSSD:
         if length <= 0:
             return b""
         self._check_range(addr, length)
-        self.stats.record_host_ssd(
-            kind, Direction.READ, Interface.BYTE, length
-        )
-        self.link.mmio_read(length)
-        out = bytearray()
-        for lpa, off, n in self._split(addr, length):
-            out += self.firmware.byte_read(lpa, off, n)
-        return bytes(out)
+        _sp = trace.begin("device", "load", nbytes=length, kind=kind.value) \
+            if trace.ENABLED else None
+        try:
+            self.stats.record_host_ssd(
+                kind, Direction.READ, Interface.BYTE, length
+            )
+            self.link.mmio_read(length)
+            out = bytearray()
+            for lpa, off, n in self._split(addr, length):
+                out += self.firmware.byte_read(lpa, off, n)
+            return bytes(out)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def store(
         self,
@@ -151,24 +158,31 @@ class MSSD:
         if not data:
             return
         self._check_range(addr, len(data))
-        self.stats.record_host_ssd(
-            kind, Direction.WRITE, Interface.BYTE, len(data)
-        )
-        self.link.mmio_write(len(data))
-        pos = 0
-        for lpa, off, n in self._split(addr, len(data)):
-            piece = data[pos : pos + n]
+        _sp = trace.begin("device", "store", nbytes=len(data),
+                          kind=kind.value, persist=persist) \
+            if trace.ENABLED else None
+        try:
+            self.stats.record_host_ssd(
+                kind, Direction.WRITE, Interface.BYTE, len(data)
+            )
+            self.link.mmio_write(len(data))
+            pos = 0
+            for lpa, off, n in self._split(addr, len(data)):
+                piece = data[pos : pos + n]
 
-            def _apply(k: int, lpa=lpa, off=off, piece=piece) -> None:
-                # A torn store loses the trailing cachelines of this
-                # piece; the prefix that did arrive is logged normally.
-                if k:
-                    self.firmware.byte_write(lpa, off, piece[:k], txid)
+                def _apply(k: int, lpa=lpa, off=off, piece=piece) -> None:
+                    # A torn store loses the trailing cachelines of this
+                    # piece; the prefix that did arrive is logged normally.
+                    if k:
+                        self.firmware.byte_write(lpa, off, piece[:k], txid)
 
-            self.faults.site("mssd.store", _apply, n, atom=64)
-            pos += n
-        if persist:
-            self.link.persist_barrier(max(1, math.ceil(len(data) / 64)))
+                self.faults.site("mssd.store", _apply, n, atom=64)
+                pos += n
+            if persist:
+                self.link.persist_barrier(max(1, math.ceil(len(data) / 64)))
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def _split(self, addr: int, length: int):
         """Split a byte range into (lpa, in-page offset, length) pieces."""
@@ -192,21 +206,27 @@ class MSSD:
             return b""
         self._check_range(lba * self.page_size, n_blocks * self.page_size)
         nbytes = n_blocks * self.page_size
-        self.stats.record_host_ssd(
-            kind, Direction.READ, Interface.BLOCK, nbytes
-        )
-        out = bytearray()
-        if n_blocks == 1:
-            out += self.firmware.block_read(lba)
-        else:
-            # Multi-page reads exploit channel parallelism inside the
-            # firmware (all flash reads issued from the same start time).
-            for data in self.firmware.block_read_many(
-                list(range(lba, lba + n_blocks))
-            ):
-                out += data
-        self.link.dma(nbytes, write=False)
-        return bytes(out)
+        _sp = trace.begin("device", "read_blocks", nbytes=nbytes,
+                          kind=kind.value) if trace.ENABLED else None
+        try:
+            self.stats.record_host_ssd(
+                kind, Direction.READ, Interface.BLOCK, nbytes
+            )
+            out = bytearray()
+            if n_blocks == 1:
+                out += self.firmware.block_read(lba)
+            else:
+                # Multi-page reads exploit channel parallelism inside the
+                # firmware (all flash reads issued from the same start time).
+                for data in self.firmware.block_read_many(
+                    list(range(lba, lba + n_blocks))
+                ):
+                    out += data
+            self.link.dma(nbytes, write=False)
+            return bytes(out)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def write_blocks(self, lba: int, data: bytes, kind: StructKind) -> None:
         """NVMe write of page-aligned ``data`` starting at ``lba``."""
@@ -214,26 +234,32 @@ class MSSD:
             raise ValueError("block writes must be page aligned")
         self._check_range(lba * self.page_size, len(data))
         n_blocks = len(data) // self.page_size
-        self.stats.record_host_ssd(
-            kind, Direction.WRITE, Interface.BLOCK, len(data)
-        )
-        self.link.dma(len(data), write=True)
-        for i in range(n_blocks):
-            page = data[i * self.page_size : (i + 1) * self.page_size]
-
-            def _apply(k: int, lba=lba + i, page=page) -> None:
-                if k == 0:
-                    return
-                if k < len(page):
-                    # Torn DMA: leading sectors are new, the rest keep
-                    # whatever the device held before.
-                    old = self.firmware.block_read(lba)
-                    page = page[:k] + old[k:]
-                self.firmware.block_write(lba, page, kind)
-
-            self.faults.site(
-                "mssd.write_block", _apply, self.page_size, atom=512
+        _sp = trace.begin("device", "write_blocks", nbytes=len(data),
+                          kind=kind.value) if trace.ENABLED else None
+        try:
+            self.stats.record_host_ssd(
+                kind, Direction.WRITE, Interface.BLOCK, len(data)
             )
+            self.link.dma(len(data), write=True)
+            for i in range(n_blocks):
+                page = data[i * self.page_size : (i + 1) * self.page_size]
+
+                def _apply(k: int, lba=lba + i, page=page) -> None:
+                    if k == 0:
+                        return
+                    if k < len(page):
+                        # Torn DMA: leading sectors are new, the rest keep
+                        # whatever the device held before.
+                        old = self.firmware.block_read(lba)
+                        page = page[:k] + old[k:]
+                    self.firmware.block_write(lba, page, kind)
+
+                self.faults.site(
+                    "mssd.write_block", _apply, self.page_size, atom=512
+                )
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def trim(self, lba: int, n_blocks: int = 1) -> None:
         def _apply(k: int) -> None:
@@ -252,14 +278,20 @@ class MSSD:
         (ordering before the commit entry, Fig 4), then the 4 B commit
         entry is appended to the TxLog.
         """
-        self.link.persist_barrier(1)
-        self.link.dma(4, write=True)
+        _sp = trace.begin("device", "commit", txid=txid) \
+            if trace.ENABLED else None
+        try:
+            self.link.persist_barrier(1)
+            self.link.dma(4, write=True)
 
-        def _apply(k: int) -> None:
-            if k:
-                self.firmware.commit(txid)
+            def _apply(k: int) -> None:
+                if k:
+                    self.firmware.commit(txid)
 
-        self.faults.site("mssd.commit", _apply, 4)
+            self.faults.site("mssd.commit", _apply, 4)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def recover(self) -> Dict[str, float]:
         """RECOVER(): firmware-level crash recovery (§4.7)."""

@@ -20,6 +20,7 @@ from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
 from repro.sim.resources import Resource
 from repro.stats.traffic import StructKind, TrafficStats
+from repro.trace import tracer as trace
 
 
 @dataclass(frozen=True)
@@ -142,6 +143,8 @@ class BaselineFirmware:
             self.stats.bump("devcache_hits")
             return page
         self.stats.bump("devcache_misses")
+        if trace.ENABLED:
+            trace.event("firmware", "devcache_miss", lpa=lpa)
         data = bytearray(
             self.ftl.read_page(lpa, StructKind.OTHER, background=not foreground)
         )
@@ -152,9 +155,15 @@ class BaselineFirmware:
     # ------------------------------------------------------------------ #
 
     def byte_read(self, lpa: int, offset: int, length: int) -> bytes:
-        self._fw(self.timing.dram_access_ns)
-        page = self._load_page(lpa)
-        return bytes(page.data[offset : offset + length])
+        _sp = trace.begin("firmware", "byte_read", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.dram_access_ns)
+            page = self._load_page(lpa)
+            return bytes(page.data[offset : offset + length])
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def byte_write(
         self,
@@ -166,31 +175,52 @@ class BaselineFirmware:
         """Read-modify-write into the page cache (battery-backed)."""
         if offset + len(data) > self.page_size:
             raise ValueError("byte write crosses a page boundary")
-        self._fw(self.timing.dram_access_ns)
+        _sp = trace.begin("firmware", "byte_write", lpa=lpa,
+                          nbytes=len(data)) if trace.ENABLED else None
+        try:
+            self._fw(self.timing.dram_access_ns)
 
-        def _apply(k: int) -> None:
-            if k == 0:
-                return
-            page = self._load_page(lpa)
-            page.data[offset : offset + k] = data[:k]
-            if not page.dirty:
-                page.dirty = True
-                self._dirty_count += 1
-            self._writeback_if_needed()
+            def _apply(k: int) -> None:
+                if k == 0:
+                    return
+                page = self._load_page(lpa)
+                page.data[offset : offset + k] = data[:k]
+                if not page.dirty:
+                    page.dirty = True
+                    self._dirty_count += 1
+                self._writeback_if_needed()
 
-        self.faults.site("basefw.byte_write", _apply, len(data), atom=64)
+            self.faults.site("basefw.byte_write", _apply, len(data), atom=64)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     # ------------------------------------------------------------------ #
     # block interface
     # ------------------------------------------------------------------ #
 
     def block_read(self, lpa: int) -> bytes:
-        self._fw(self.timing.dram_access_ns)
-        page = self._load_page(lpa)
-        return bytes(page.data)
+        _sp = trace.begin("firmware", "block_read", n_pages=1) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.dram_access_ns)
+            page = self._load_page(lpa)
+            return bytes(page.data)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def block_read_many(self, lpas: List[int]) -> List[bytes]:
         """Multi-page NVMe read: cache misses stripe across channels."""
+        _sp = trace.begin("firmware", "block_read", n_pages=len(lpas)) \
+            if trace.ENABLED else None
+        try:
+            return self._block_read_many(lpas)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _block_read_many(self, lpas: List[int]) -> List[bytes]:
         self._fw(self.timing.dram_access_ns * len(lpas))
         missing = [lpa for lpa in lpas if self._touch(lpa) is None]
         if missing:
@@ -220,14 +250,20 @@ class BaselineFirmware:
         (and what ByteFS's in-device log avoids).  The cached copy, if
         any, is updated for read coherence.
         """
-        self._fw(self.timing.dram_access_ns)
-        cached = self._touch(lpa)
-        if cached is not None:
-            if cached.dirty:
-                self._dirty_count -= 1
-            cached.data = bytearray(data)
-            cached.dirty = False
-        self.ftl.write_page(lpa, data, kind, background=True)
+        _sp = trace.begin("firmware", "block_write", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.dram_access_ns)
+            cached = self._touch(lpa)
+            if cached is not None:
+                if cached.dirty:
+                    self._dirty_count -= 1
+                cached.data = bytearray(data)
+                cached.dirty = False
+            self.ftl.write_page(lpa, data, kind, background=True)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def trim(self, lpa: int) -> None:
         page = self._cache.pop(lpa, None)
@@ -253,6 +289,14 @@ class BaselineFirmware:
         Recovery runs after the sweep driver disarms the injector, so its
         device writes are deliberately not crash sites (CS001 suppressed).
         """
+        _sp = trace.begin("firmware", "recover") if trace.ENABLED else None
+        try:
+            return self._recover()
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _recover(self) -> Dict[str, float]:  # repro: allow[CS001]
         t0 = self.clock.now
         flushed = 0
         for lpa, page in list(self._cache.items()):

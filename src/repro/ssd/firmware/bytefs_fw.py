@@ -35,6 +35,7 @@ from repro.ssd.firmware.write_log import (
     entry_complete,
 )
 from repro.stats.traffic import Direction, StructKind, TrafficStats
+from repro.trace import tracer as trace
 
 
 @dataclass(frozen=True)
@@ -145,16 +146,26 @@ class ByteFSFirmware:
         Coordinated caching (§4.3): a flash page read on a miss is *not*
         cached in SSD DRAM; the host caches it instead.
         """
-        self._fw(self.timing.fw_op_ns)
-        chunks = self._chunks_for(lpa)
-        if self._covers(chunks, offset, length):
-            self.stats.bump("fw_byte_read_log_hits")
-            page = self._merge(bytes(self.page_size), chunks)
-            return page[offset : offset + length]
-        self.stats.bump("fw_byte_read_flash_misses")
-        base = self.ftl.read_page(lpa, StructKind.OTHER, background=False)
-        merged = self._merge(base, chunks)
-        return merged[offset : offset + length]
+        _sp = trace.begin("firmware", "byte_read", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.fw_op_ns)
+            chunks = self._chunks_for(lpa)
+            if self._covers(chunks, offset, length):
+                self.stats.bump("fw_byte_read_log_hits")
+                if trace.ENABLED:
+                    trace.event("firmware", "log_hit", lpa=lpa)
+                page = self._merge(bytes(self.page_size), chunks)
+                return page[offset : offset + length]
+            self.stats.bump("fw_byte_read_flash_misses")
+            if trace.ENABLED:
+                trace.event("firmware", "log_miss", lpa=lpa)
+            base = self.ftl.read_page(lpa, StructKind.OTHER, background=False)
+            merged = self._merge(base, chunks)
+            return merged[offset : offset + length]
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def byte_write(
         self,
@@ -168,6 +179,21 @@ class ByteFSFirmware:
             return
         if offset + len(data) > self.page_size:
             raise ValueError("byte write crosses a page boundary")
+        _sp = trace.begin("firmware", "byte_write", lpa=lpa,
+                          nbytes=len(data)) if trace.ENABLED else None
+        try:
+            self._byte_write(lpa, offset, data, txid)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _byte_write(
+        self,
+        lpa: int,
+        offset: int,
+        data: bytes,
+        txid: Optional[int],
+    ) -> None:
         self._ensure_space(len(data))
         self._fw(self.timing.fw_append_ns)
 
@@ -207,27 +233,43 @@ class ByteFSFirmware:
 
     def block_read_many(self, lpas: List[int]) -> List[bytes]:
         """NVMe multi-page read: flash reads stripe across channels."""
-        self._fw(self.timing.fw_op_ns * len(lpas))
-        bases = self.ftl.read_pages(lpas, StructKind.OTHER, background=False)
-        out = []
-        for lpa, base in zip(lpas, bases):
-            chunks = self._chunks_for(lpa)
-            if chunks:
-                self.stats.bump("fw_block_read_merges")
-            out.append(self._merge(base, chunks))
-        return out
+        _sp = trace.begin("firmware", "block_read", n_pages=len(lpas)) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.fw_op_ns * len(lpas))
+            bases = self.ftl.read_pages(
+                lpas, StructKind.OTHER, background=False
+            )
+            out = []
+            for lpa, base in zip(lpas, bases):
+                chunks = self._chunks_for(lpa)
+                if chunks:
+                    self.stats.bump("fw_block_read_merges")
+                out.append(self._merge(base, chunks))
+            return out
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def block_write(self, lpa: int, data: bytes, kind: StructKind) -> None:
         """NVMe write: invalidate logged chunks, then write through the FTL
         write buffer (host page-cache writebacks are always up to date,
         §4.4)."""
-        self._fw(self.timing.fw_op_ns)
-        for region in self.regions:
-            node = region.index.remove_page(lpa)
-            if node is not None:
-                self._drop_refs(node.chunks)
-                self.stats.bump("fw_log_invalidations", len(node.chunks))
-        self.ftl.write_page(lpa, data, kind, background=True)
+        _sp = trace.begin("firmware", "block_write", lpa=lpa) \
+            if trace.ENABLED else None
+        try:
+            self._fw(self.timing.fw_op_ns)
+            for region in self.regions:
+                node = region.index.remove_page(lpa)
+                if node is not None:
+                    self._drop_refs(node.chunks)
+                    self.stats.bump(
+                        "fw_log_invalidations", len(node.chunks)
+                    )
+            self.ftl.write_page(lpa, data, kind, background=True)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def trim(self, lpa: int) -> None:
         for region in self.regions:
@@ -242,9 +284,13 @@ class ByteFSFirmware:
 
     def commit(self, txid: int) -> None:
         """Handle COMMIT(TxID): append a 4 B entry to the TxLog (§4.3)."""
+        _sp = trace.begin("firmware", "txlog_commit", txid=txid) \
+            if trace.ENABLED else None
         self._fw(self.timing.fw_append_ns)
         self.txlog.commit(txid)
         self.stats.bump("fw_commits")
+        if _sp is not None:
+            trace.end(_sp)
 
     def is_committed(self, entry: ChunkEntry) -> bool:
         return entry.txid is None or self.txlog.is_committed(entry.txid)
@@ -274,6 +320,12 @@ class ByteFSFirmware:
             # background flush of the other half to drain.
             if self.clock.now < other.cleaning_until:
                 self.stats.bump("fw_log_clean_stalls")
+                if trace.ENABLED:
+                    trace.note_wait(
+                        "fw-log-clean",
+                        other.cleaning_until - self.clock.now,
+                        0.0,
+                    )
                 self.clock.advance_to(other.cleaning_until)
             other.is_cleaning = False
         old_idx = self.active
@@ -289,21 +341,28 @@ class ByteFSFirmware:
     def _clean_region(self, idx: int) -> None:
         """Flush one region to flash (Algorithm 1), in the background."""
         region = self.regions[idx]
-        self.faults.point("fw.clean_begin")
-        self.cleanings += 1
-        self.stats.bump("fw_log_cleanings")
-        start_busy = self.ftl.channels.max_busy_until()
-        for node in list(region.index.pages()):
-            self._flush_page_node(node)
-        # Power loss here leaves flushed pages on flash AND their entries
-        # in the log; recovery re-flushes them — idempotent by design.
-        self.faults.point("fw.clean_reset")
-        region.reset()
-        region.is_cleaning = True
-        region.cleaning_until = max(
-            self.ftl.channels.max_busy_until(), start_busy
-        )
-        self._prune_txlog()
+        _sp = trace.begin("firmware", "log_clean", region=idx) \
+            if trace.ENABLED else None
+        try:
+            self.faults.point("fw.clean_begin")
+            self.cleanings += 1
+            self.stats.bump("fw_log_cleanings")
+            start_busy = self.ftl.channels.max_busy_until()
+            for node in list(region.index.pages()):
+                self._flush_page_node(node)
+            # Power loss here leaves flushed pages on flash AND their
+            # entries in the log; recovery re-flushes them — idempotent by
+            # design.
+            self.faults.point("fw.clean_reset")
+            region.reset()
+            region.is_cleaning = True
+            region.cleaning_until = max(
+                self.ftl.channels.max_busy_until(), start_busy
+            )
+            self._prune_txlog()
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
 
     def _flush_page_node(self, node: PageNode) -> None:
         """Algorithm 1 body for one modified page."""
@@ -403,6 +462,14 @@ class ByteFSFirmware:
         Recovery runs after the sweep driver disarms the injector, so its
         device writes are deliberately not crash sites (CS001 suppressed).
         """
+        _sp = trace.begin("firmware", "recover") if trace.ENABLED else None
+        try:
+            return self._recover()
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _recover(self) -> Dict[str, float]:  # repro: allow[CS001]
         t0 = self.clock.now
         scanned = 0
         discarded = 0

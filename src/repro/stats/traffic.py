@@ -159,6 +159,26 @@ class TrafficStats:
             "fault_counters": dict(self.fault_counters),
         }
 
+    def to_json(self) -> Dict[str, Dict]:
+        """Like :meth:`snapshot` but JSON-serialisable: enum-tuple keys
+        become stable colon-joined strings (``"data:write:byte"``), sorted
+        for deterministic output."""
+        host_ssd = {
+            f"{k.value}:{d.value}:{i.value}": n
+            for (k, d, i), n in self.host_ssd.items()
+        }
+        flash = {
+            f"{k.value}:{d.value}": n for (k, d), n in self.flash.items()
+        }
+        app = {d.value: n for d, n in self.app.items()}
+        return {
+            "host_ssd": dict(sorted(host_ssd.items())),
+            "flash": dict(sorted(flash.items())),
+            "app": dict(sorted(app.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+        }
+
     def reset(self) -> None:
         self.host_ssd.clear()
         self.flash.clear()
@@ -168,13 +188,21 @@ class TrafficStats:
 
 
 class LatencyRecorder:
-    """Records per-operation latencies and reports mean / percentiles."""
+    """Records per-operation latencies and reports mean / percentiles.
+
+    The sorted order is computed lazily and cached per op (invalidated by
+    :meth:`record`), so a burst of percentile queries — e.g. rendering a
+    report with p50/p95/p99 per op — sorts each sample list once instead
+    of once per query.
+    """
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._sorted_cache: Dict[str, List[float]] = {}
 
     def record(self, op: str, latency_ns: float) -> None:
         self._samples[op].append(latency_ns)
+        self._sorted_cache.pop(op, None)
 
     def count(self, op: str) -> int:
         return len(self._samples.get(op, ()))
@@ -185,11 +213,17 @@ class LatencyRecorder:
             return float("nan")
         return sum(samples) / len(samples)
 
-    def percentile(self, op: str, pct: float) -> float:
-        samples = self._samples.get(op)
-        if not samples:
-            return float("nan")
-        ordered = sorted(samples)
+    def _sorted(self, op: str) -> Optional[List[float]]:
+        ordered = self._sorted_cache.get(op)
+        if ordered is None:
+            samples = self._samples.get(op)
+            if not samples:
+                return None
+            ordered = self._sorted_cache[op] = sorted(samples)
+        return ordered
+
+    @staticmethod
+    def _percentile_of(ordered: List[float], pct: float) -> float:
         if len(ordered) == 1:
             return ordered[0]
         rank = (pct / 100.0) * (len(ordered) - 1)
@@ -198,8 +232,30 @@ class LatencyRecorder:
         frac = rank - lo
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
+    def percentile(self, op: str, pct: float) -> float:
+        ordered = self._sorted(op)
+        if ordered is None:
+            return float("nan")
+        return self._percentile_of(ordered, pct)
+
+    def summary(self, op: str) -> Dict[str, float]:
+        """count/mean/p50/p95/p99 in one pass over one cached sort."""
+        ordered = self._sorted(op)
+        if ordered is None:
+            nan = float("nan")
+            return {"count": 0, "mean": nan, "p50": nan,
+                    "p95": nan, "p99": nan}
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": self._percentile_of(ordered, 50),
+            "p95": self._percentile_of(ordered, 95),
+            "p99": self._percentile_of(ordered, 99),
+        }
+
     def ops(self) -> List[str]:
         return sorted(self._samples)
 
     def reset(self) -> None:
         self._samples.clear()
+        self._sorted_cache.clear()

@@ -1,0 +1,28 @@
+"""Cross-layer span tracing on virtual-clock timelines.
+
+See :mod:`repro.trace.tracer` for the span model and activation guard,
+:mod:`repro.trace.export` for JSONL / Chrome trace_event output,
+:mod:`repro.trace.report` for latency attribution, and
+:mod:`repro.trace.metrics` for log-scaled histograms.
+"""
+
+from repro.trace.metrics import LogHistogram, MetricsRegistry
+from repro.trace.tracer import (
+    Span,
+    Tracer,
+    activate,
+    activated,
+    active,
+    deactivate,
+)
+
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "activated",
+    "active",
+    "deactivate",
+]

@@ -1,0 +1,207 @@
+"""Trace exporters: deterministic JSONL and Chrome ``trace_event`` JSON.
+
+Both formats serialise with ``sort_keys=True`` and fixed separators, and
+spans carry sequential ids emitted in completion order, so two runs with
+identical seeds produce byte-identical output.
+
+JSONL schema (one object per line):
+
+- ``{"type": "meta", ...}`` — first line: format version, workload/fs
+  labels, thread count.
+- ``{"type": "span", "id": int, "parent": int, "tid": int, "layer": str,
+  "op": str, "ts": float, "dur": float, "lane"?: int, "attrs"?: {...},
+  "waits"?: {resource: ns}}`` — ``ts``/``dur`` in virtual nanoseconds;
+  ``parent`` is 0 for roots; ``lane`` 1 marks background device work.
+- ``{"type": "event", "tid": int, "ts": float, "layer": str,
+  "name": str, "parent": int, "attrs"?: {...}}``
+
+Chrome format: ``{"traceEvents": [...], "displayTimeUnit": "ns"}`` with
+"X" complete events (``ts``/``dur`` in microseconds, as the format
+requires), "i" instant events, and "M" metadata naming one pid per
+simulated thread and one tid per lane (0 = sync path, 1 = background
+device work).  Loadable in Perfetto / chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import LANE_BACKGROUND, LANE_SYNC, Tracer
+
+JSONL_VERSION = 1
+
+#: Keys required on every Chrome event we emit, per the trace_event spec.
+_CHROME_REQUIRED = ("ph", "pid", "tid", "ts", "name")
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(tracer: Tracer, meta: Optional[Dict] = None) -> str:
+    """Serialise a tracer's spans and events as JSONL (returns the text)."""
+    header = {"type": "meta", "version": JSONL_VERSION,
+              "n_threads": tracer.clock.n_threads}
+    if meta:
+        header.update(meta)
+    lines = [_dumps(header)]
+    lines.extend(_dumps(s.to_dict()) for s in tracer.spans)
+    lines.extend(_dumps(e.to_dict()) for e in tracer.events)
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(tracer: Tracer, path, meta: Optional[Dict] = None) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(to_jsonl(tracer, meta))
+
+
+def to_chrome(tracer: Tracer, meta: Optional[Dict] = None) -> Dict:
+    """Build a Chrome trace_event dict (one pid per simulated thread)."""
+    events: List[Dict] = []
+    threads = set()
+    lanes: Dict[int, set] = {}
+    for span in tracer.spans:
+        threads.add(span.tid)
+        lanes.setdefault(span.tid, set()).add(span.lane)
+        ev = {
+            "ph": "X",
+            "pid": span.tid,
+            "tid": span.lane,
+            "ts": span.t_start / 1000.0,   # trace_event wants microseconds
+            "dur": span.duration_ns / 1000.0,
+            "name": f"{span.layer}.{span.op}",
+            "cat": span.layer,
+            "args": {"id": span.span_id, "parent": span.parent_id},
+        }
+        if span.attrs:
+            ev["args"].update(span.attrs)
+        if span.waits:
+            ev["args"]["waits"] = span.waits
+        events.append(ev)
+    for pe in tracer.events:
+        threads.add(pe.tid)
+        lanes.setdefault(pe.tid, set()).add(LANE_SYNC)
+        ev = {
+            "ph": "i",
+            "pid": pe.tid,
+            "tid": LANE_SYNC,
+            "ts": pe.t / 1000.0,
+            "name": f"{pe.layer}.{pe.name}",
+            "cat": pe.layer,
+            "s": "t",  # thread-scoped instant
+            "args": dict(pe.attrs) if pe.attrs else {},
+        }
+        events.append(ev)
+    meta_events: List[Dict] = []
+    for tid in sorted(threads):
+        meta_events.append({
+            "ph": "M", "pid": tid, "tid": 0, "ts": 0,
+            "name": "process_name",
+            "args": {"name": f"sim-thread-{tid}"},
+        })
+        for lane in sorted(lanes.get(tid, ())):
+            label = "sync" if lane == LANE_SYNC else "background"
+            meta_events.append({
+                "ph": "M", "pid": tid, "tid": lane, "ts": 0,
+                "name": "thread_name", "args": {"name": label},
+            })
+    out = {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ns",
+    }
+    if meta:
+        out["otherData"] = meta
+    return out
+
+
+def to_chrome_json(tracer: Tracer, meta: Optional[Dict] = None) -> str:
+    return _dumps(to_chrome(tracer, meta))
+
+
+def write_chrome(tracer: Tracer, path, meta: Optional[Dict] = None) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(to_chrome_json(tracer, meta))
+
+
+def validate_chrome(doc) -> List[str]:
+    """Check a parsed Chrome trace against the schema we document.
+
+    Returns a list of problems (empty == valid).  Accepts either the
+    dict form or raw JSON text.
+    """
+    problems: List[str] = []
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append("displayTimeUnit must be 'ms' or 'ns'")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in _CHROME_REQUIRED:
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i}: complete event needs numeric dur")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) \
+                and ev["dur"] < 0:
+            problems.append(f"event {i}: negative dur")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: ts must be numeric")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"event {i}: pid must be an int")
+        lane = ev.get("tid")
+        if lane not in (LANE_SYNC, LANE_BACKGROUND):
+            problems.append(f"event {i}: tid (lane) must be 0 or 1")
+    return problems
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Check JSONL trace text against the documented line schema."""
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines:
+        return ["empty trace"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: not valid JSON: {exc}"]
+    if header.get("type") != "meta":
+        problems.append("line 1 must be the meta record")
+    seen_ids = set()
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i}: not valid JSON: {exc}")
+            continue
+        kind = rec.get("type")
+        if kind == "span":
+            for key in ("id", "parent", "tid", "layer", "op", "ts", "dur"):
+                if key not in rec:
+                    problems.append(f"line {i}: span missing {key!r}")
+            if rec.get("id") in seen_ids:
+                problems.append(f"line {i}: duplicate span id {rec['id']}")
+            seen_ids.add(rec.get("id"))
+            if isinstance(rec.get("dur"), (int, float)) and rec["dur"] < 0:
+                problems.append(f"line {i}: negative dur")
+        elif kind == "event":
+            for key in ("tid", "ts", "layer", "name", "parent"):
+                if key not in rec:
+                    problems.append(f"line {i}: event missing {key!r}")
+        else:
+            problems.append(f"line {i}: unknown record type {kind!r}")
+    return problems

@@ -70,6 +70,30 @@ def test_det001_allows_sim_clock_module(tmp_path):
     assert _rule_ids(res) == []
 
 
+def test_det001_blessed_clock_consumer_covers_trace_package(tmp_path):
+    """repro.trace is registered as a clock consumer: the whole package
+    (submodules included) is exempt without per-site suppressions."""
+    res = _lint(tmp_path, "repro/trace/probe.py", """\
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert _rule_ids(res) == []
+
+
+def test_det001_consumer_prefix_does_not_leak_to_siblings(tmp_path):
+    """Only the registered package is blessed — a sibling module whose
+    name merely starts with the same characters still gets flagged."""
+    res = _lint(tmp_path, "repro/tracery.py", """\
+        import time
+
+        def stamp():
+            return time.time()
+    """)
+    assert _rule_ids(res) == ["DET001"]
+
+
 def test_det001_resolves_import_aliases(tmp_path):
     res = _lint(tmp_path, "repro/bench/t.py", """\
         import time as walltime
