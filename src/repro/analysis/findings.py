@@ -18,6 +18,10 @@ RULES: Dict[str, str] = {
         "host-layer module imports NAND/FTL/firmware internals instead of "
         "going through repro.ssd.device"
     ),
+    "PERF001": (
+        "per-page device-visible mutation inside a loop instead of a "
+        "batched op (block_write_many / trim_many / ranged trim)"
+    ),
 }
 
 

@@ -288,6 +288,24 @@ def check_resource_serve(
     _ok(CLOCK)
 
 
+def check_clock_elapsed(max_seen: float, times_max: float) -> None:
+    """The elapsed watermark covers every thread timeline.
+
+    ``elapsed_ns`` returns ``_max_seen`` directly instead of re-scanning
+    the per-thread timelines; this cross-check asserts the watermark is
+    a true upper bound whenever the sanitizer is on.
+    """
+    if max_seen != max_seen:  # NaN
+        _trip(CLOCK, "elapsed watermark is NaN")
+    if max_seen < times_max:
+        _trip(
+            CLOCK,
+            f"elapsed watermark {max_seen} fell behind the furthest "
+            f"thread timeline {times_max}",
+        )
+    _ok(CLOCK)
+
+
 def check_clock_advance(old_now: float, new_now: float, max_seen: float) -> None:
     """A per-thread timeline never goes backwards, NaN, or past-max loss."""
     if new_now != new_now:  # NaN

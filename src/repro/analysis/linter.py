@@ -29,6 +29,7 @@ from repro.analysis.determinism import (
 )
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.layering import check_layering
+from repro.analysis.perfpass import check_per_page_loops
 from repro.analysis.suppress import is_suppressed, suppression_map
 
 
@@ -122,6 +123,7 @@ _MODULE_PASSES = (
     ("DET002", check_ambient_random),
     ("DET003", check_set_iteration),
     ("LAY001", check_layering),
+    ("PERF001", check_per_page_loops),
 )
 
 

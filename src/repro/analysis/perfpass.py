@@ -1,0 +1,93 @@
+"""Performance lint pass (PERF001): per-page device ops inside loops.
+
+The simulator's hot path is dominated by call volume, not arithmetic:
+a filesystem that TRIMs a thousand blocks one ``device.trim(b)`` at a
+time pays a thousand crossings of the host/device boundary (stats,
+fault-site checks, firmware dispatch) where one ranged call pays a
+handful.  The batched entry points exist for exactly this reason:
+
+* ``Firmware.block_write_many(pages, kind)`` instead of per-page
+  ``block_write`` in a loop,
+* ``trim_many`` / ranged ``device.trim(lba, n_blocks)`` instead of
+  per-block ``trim(b)`` in a loop.
+
+**PERF001** flags a call to a per-page mutation primitive —
+``block_write``, ``write_page``, ``program_page``, ``byte_write``,
+``erase_block``, or single-argument ``trim`` — lexically inside a
+``for``/``while`` loop or a comprehension.  Ranged ``trim(lba, n)``
+calls are not flagged, so run-batching loops (which emit one ranged
+call per contiguous run) pass clean.
+
+Some per-page loops are inherent — GC migration rebinds each page to a
+different physical address, and the batched implementations themselves
+bottom out in per-page loops.  Annotate those with
+``# repro: allow[PERF001]`` on the call line (or the line above).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+
+#: Per-page mutation primitives that have (or feed) a batched sibling.
+PER_PAGE_MUTATIONS = {
+    "block_write",
+    "write_page",
+    "program_page",
+    "byte_write",
+    "erase_block",
+}
+
+_MESSAGE = (
+    "per-page {name}() inside a loop; use a batched device op "
+    "(block_write_many / trim_many / ranged trim(lba, n)) or annotate "
+    "with `# repro: allow[PERF001]` if per-page work is inherent"
+)
+
+
+class _LoopCallVisitor(ast.NodeVisitor):
+    """Collect per-page mutation calls that sit inside any loop."""
+
+    def __init__(self, module, out: List[Finding]) -> None:
+        self.module = module
+        self.out = out
+        self._depth = 0
+
+    def _loop(self, node: ast.AST) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_For = _loop
+    visit_AsyncFor = _loop
+    visit_While = _loop
+    visit_ListComp = _loop
+    visit_SetComp = _loop
+    visit_DictComp = _loop
+    visit_GeneratorExp = _loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._depth and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in PER_PAGE_MUTATIONS or (
+                attr == "trim"
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                self.out.append(Finding(
+                    "PERF001",
+                    self.module.display,
+                    node.lineno,
+                    node.col_offset,
+                    _MESSAGE.format(name=attr),
+                ))
+        self.generic_visit(node)
+
+
+def check_per_page_loops(module) -> List[Finding]:
+    """PERF001: per-page device mutation inside a loop."""
+    out: List[Finding] = []
+    _LoopCallVisitor(module, out).visit(module.tree)
+    return out

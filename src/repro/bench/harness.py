@@ -19,9 +19,10 @@ memory-bounded; ``traced=True`` keeps the full span tree on
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.bytefs import build_stack
 from repro.nand.geometry import FlashGeometry
@@ -154,6 +155,7 @@ def run_workload(
     page_cache_pages: int = 512,
     unmount: bool = False,
     traced: bool = False,
+    stack_probe: Optional[Callable] = None,
 ) -> RunResult:
     """Build a fresh stack, run the workload, and collect metrics.
 
@@ -164,6 +166,14 @@ def run_workload(
     ``traced=True`` records the full span tree of the measured loop on
     ``RunResult.trace``; when the ``REPRO_TRACE`` environment variable is
     set, every run gets a metrics-only tracer instead (histograms only).
+
+    ``stack_probe`` is an observation hook for the perf harness
+    (:mod:`repro.bench.perf`): it is called as
+    ``stack_probe(phase, clock, stats, device, fs)`` with phase
+    ``"measure-start"`` at the measurement epoch (right after setup and
+    the stats reset) and ``"measure-end"`` right after the measured loop
+    drains, bracketing exactly the measured region.  The probe must not
+    mutate the stack.
     """
     clock, stats, device, fs = build_stack(
         fs_name,
@@ -179,6 +189,8 @@ def run_workload(
     clock.sync_all()
     stats.reset()
     t0 = clock.elapsed_ns
+    if stack_probe is not None:
+        stack_probe("measure-start", clock, stats, device, fs)
     latency = LatencyRecorder()
     tracer: Optional[Tracer] = None
     if traced:
@@ -193,6 +205,8 @@ def run_workload(
         tracer.close_all()
     else:
         ops = _measured_loop(clock, gens, latency, None)
+    if stack_probe is not None:
+        stack_probe("measure-end", clock, stats, device, fs)
     workload.teardown(fs)
     if unmount:
         fs.unmount()
@@ -236,11 +250,21 @@ def _measured_loop(clock, gens, latency, tracer: Optional[Tracer]) -> int:
     the exact same clock reads the latency recorder uses, and named after
     the op the generator reports — so ``root.duration_ns`` equals the
     recorded latency exactly.
+
+    The ready queue is a min-heap of ``(time, tid)``: an op only advances
+    the running thread's timeline, so popping the heap top and re-pushing
+    the updated entry always selects the furthest-behind thread — with
+    ties broken toward the lowest tid, exactly like the linear
+    ``min(gens, key=clock.time_of)`` scan this replaces.
     """
     ops = 0
-    while gens:
+    heap = [(clock.time_of(tid), tid) for tid in gens]
+    heapq.heapify(heap)
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
         # Advance the thread that is furthest behind.
-        tid = min(gens, key=clock.time_of)
+        _t, tid = heappop(heap)
         clock.switch(tid)
         t_start = clock.now
         root = tracer.begin("workload", "op") if tracer is not None else None
@@ -261,4 +285,5 @@ def _measured_loop(clock, gens, latency, tracer: Optional[Tracer]) -> int:
             tracer.end(root)
         latency.record(op_name, clock.now - t_start)
         ops += 1
+        heappush(heap, (clock.now, tid))
     return ops

@@ -1,0 +1,405 @@
+"""Wall-clock performance harness: how fast does the simulator itself run?
+
+Everything else in ``repro.bench`` reports *simulated* quantities; this
+module is the one place that reads the host's wall clock (it is
+registered as a blessed DET001 clock consumer for exactly that reason).
+It replays a pinned suite of (fs, workload) cases, counts the
+device-level events each replay simulates, and reports **simulated ops
+per wall-second** — the simulator's own throughput.  Two invariants make
+the numbers trustworthy:
+
+* the event counts come from the deterministic simulation (link lines,
+  flash ops, DMA transfers, workload ops), so they are identical across
+  hosts and repeats — only the wall-clock denominator varies;
+* the golden differential test (``tests/test_golden_differential.py``)
+  pins ``RunResult.to_json()`` byte-for-byte, so an optimization that
+  changes *simulated* behaviour cannot masquerade as a speedup.
+
+The ``repro bench`` CLI emits the ``repro.bench.simspeed/v1`` schema
+(``BENCH_simspeed.json``); :func:`validate_simspeed` is the schema
+validator (CI uses it the same way the trace job uses
+``validate_chrome``), and :func:`compare_to_baseline` implements the
+ratio-based regression gate: per-case ratios are normalized by their
+median so a uniformly slower shared runner does not flap the build,
+while any *single* case regressing relative to the others fails it.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time  # wall clock: repro.bench.perf is a registered DET001 consumer
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.harness import RunResult, run_workload
+from repro.nand.geometry import FlashGeometry
+from repro.workloads import (
+    Fileserver,
+    MicroCreate,
+    MicroDelete,
+    OLTP,
+    Varmail,
+    Webserver,
+)
+from repro.workloads.base import Workload
+
+SCHEMA = "repro.bench.simspeed/v1"
+
+#: 32 MB device, the same scale the tier-1 golden benches run at: large
+#: enough to exercise GC and log cleaning, small enough for CI.
+BENCH_GEOMETRY = FlashGeometry(
+    n_channels=4,
+    ways_per_channel=1,
+    blocks_per_way=32,
+    pages_per_block=64,
+    page_size=4096,
+)
+
+#: Workload factories at smoke scale (fresh instance per run: setup
+#: mutates workload state).
+WORKLOADS: Dict[str, Callable[[], Workload]] = {
+    "create": lambda: MicroCreate(n_files=150),
+    "delete": lambda: MicroDelete(n_files=120),
+    "varmail": lambda: Varmail(ops_per_thread=12),
+    "fileserver": lambda: Fileserver(ops_per_thread=8),
+    "webserver": lambda: Webserver(ops_per_thread=8),
+    "oltp": lambda: OLTP(ops_per_thread=10),
+}
+
+#: The pinned default suite: every file system, plus extra ByteFS cases
+#: because its firmware (write log, skip-list index, log cleaning) is
+#: the hottest Python path in the repo.
+DEFAULT_SUITE: Tuple[Tuple[str, str], ...] = (
+    ("bytefs", "create"),
+    ("bytefs", "varmail"),
+    ("bytefs", "oltp"),
+    ("bytefs", "fileserver"),
+    ("ext4", "create"),
+    ("ext4", "varmail"),
+    ("f2fs", "webserver"),
+    ("nova", "create"),
+    ("pmfs", "varmail"),
+)
+
+
+@dataclass
+class CaseResult:
+    """One (fs, workload) case: deterministic counts + wall timings."""
+
+    fs: str
+    workload: str
+    workload_ops: int
+    sim_elapsed_s: float
+    layer_calls: Dict[str, int]
+    wall_s: List[float] = field(default_factory=list)
+
+    @property
+    def sim_ops(self) -> int:
+        """Simulated device-level events plus workload ops."""
+        return self.workload_ops + sum(self.layer_calls.values())
+
+    @property
+    def wall_s_best(self) -> float:
+        return min(self.wall_s)
+
+    @property
+    def ops_per_wall_s(self) -> float:
+        return self.sim_ops / self.wall_s_best
+
+    def to_json(self) -> Dict:
+        return {
+            "fs": self.fs,
+            "workload": self.workload,
+            "workload_ops": self.workload_ops,
+            "sim_ops": self.sim_ops,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "layer_calls": dict(sorted(self.layer_calls.items())),
+            "wall_s": [round(w, 6) for w in self.wall_s],
+            "wall_s_best": round(self.wall_s_best, 6),
+            "ops_per_wall_s": round(self.ops_per_wall_s, 1),
+        }
+
+
+class _Probe:
+    """Snapshots device counters at the measurement epoch and end.
+
+    ``run_workload`` calls it with ("measure-start" | "measure-end");
+    the diff is the measured region's per-layer call counts, and the
+    perf_counter pair is the measured region's wall time — setup and
+    teardown are excluded from both.
+    """
+
+    def __init__(self) -> None:
+        self.layer_calls: Dict[str, int] = {}
+        self.wall_s = 0.0
+        self._start: Dict[str, int] = {}
+        self._t0 = 0.0
+
+    @staticmethod
+    def _snapshot(device) -> Dict[str, int]:
+        link = device.link
+        flash = device.flash
+        return {
+            "link.mmio_read_lines": link.mmio_reads,
+            "link.mmio_write_lines": link.mmio_writes,
+            "link.dma_transfers": link.dma_transfers,
+            "flash.reads": flash.reads,
+            "flash.writes": flash.writes,
+            "flash.erases": flash.erases,
+        }
+
+    def __call__(self, phase: str, clock, stats, device, fs) -> None:
+        if phase == "measure-start":
+            self._start = self._snapshot(device)
+            self._t0 = time.perf_counter()
+        elif phase == "measure-end":
+            t1 = time.perf_counter()
+            end = self._snapshot(device)
+            self.wall_s = t1 - self._t0
+            self.layer_calls = {
+                k: end[k] - self._start[k] for k in end
+            }
+
+
+def run_case(fs: str, workload_name: str, repeat: int = 1) -> CaseResult:
+    """Run one suite case ``repeat`` times; keep every wall sample."""
+    if workload_name not in WORKLOADS:
+        raise ValueError(f"unknown bench workload {workload_name!r}")
+    case: Optional[CaseResult] = None
+    for _ in range(max(1, repeat)):
+        probe = _Probe()
+        # Standard timing hygiene (what pyperf does): start each sample
+        # from a collected heap and keep the cyclic collector from firing
+        # mid-measurement.  Simulated results are unaffected.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            result: RunResult = run_workload(
+                fs,
+                WORKLOADS[workload_name](),
+                geometry=BENCH_GEOMETRY,
+                stack_probe=probe,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if case is None:
+            case = CaseResult(
+                fs=fs,
+                workload=workload_name,
+                workload_ops=result.ops,
+                sim_elapsed_s=result.elapsed_s,
+                layer_calls=probe.layer_calls,
+            )
+        elif (case.workload_ops, case.layer_calls) != (
+            result.ops, probe.layer_calls
+        ):  # pragma: no cover - determinism violation guard
+            raise AssertionError(
+                f"{fs}/{workload_name}: simulated counts differ between "
+                "repeats — the stack is nondeterministic"
+            )
+        case.wall_s.append(probe.wall_s)
+    assert case is not None
+    return case
+
+
+def run_suite(
+    suite: Tuple[Tuple[str, str], ...] = DEFAULT_SUITE,
+    repeat: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CaseResult]:
+    out = []
+    for fs, wl in suite:
+        if progress is not None:
+            progress(f"{fs}/{wl}")
+        out.append(run_case(fs, wl, repeat=repeat))
+    return out
+
+
+def aggregate(cases: List[CaseResult]) -> Dict[str, float]:
+    total_ops = sum(c.sim_ops for c in cases)
+    total_wall = sum(c.wall_s_best for c in cases)
+    return {
+        "sim_ops": total_ops,
+        "wall_s_best": round(total_wall, 6),
+        "ops_per_wall_s": round(total_ops / total_wall, 1),
+    }
+
+
+def to_document(
+    cases: List[CaseResult],
+    repeat: int,
+    baseline: Optional[Dict] = None,
+) -> Dict:
+    """The ``repro.bench.simspeed/v1`` document (BENCH_simspeed.json)."""
+    doc = {
+        "schema": SCHEMA,
+        "repeat": repeat,
+        "suite": [c.to_json() for c in cases],
+        "aggregate": aggregate(cases),
+    }
+    if baseline is not None:
+        agg = doc["aggregate"]["ops_per_wall_s"]
+        base_agg = baseline.get("aggregate", {}).get("ops_per_wall_s")
+        doc["baseline"] = {
+            "ops_per_wall_s": base_agg,
+            "speedup": round(agg / base_agg, 2) if base_agg else None,
+        }
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# schema validation (CI gate, like repro.trace.export.validate_chrome)
+# ---------------------------------------------------------------------- #
+
+_CASE_FIELDS = {
+    "fs": str,
+    "workload": str,
+    "workload_ops": int,
+    "sim_ops": int,
+    "sim_elapsed_s": (int, float),
+    "layer_calls": dict,
+    "wall_s": list,
+    "wall_s_best": (int, float),
+    "ops_per_wall_s": (int, float),
+}
+
+
+def validate_simspeed(doc: Dict) -> List[str]:
+    """Return a list of schema problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("repeat"), int) or doc.get("repeat", 0) < 1:
+        problems.append("repeat must be a positive integer")
+    suite = doc.get("suite")
+    if not isinstance(suite, list) or not suite:
+        problems.append("suite must be a non-empty list")
+        suite = []
+    for i, case in enumerate(suite):
+        if not isinstance(case, dict):
+            problems.append(f"suite[{i}] is not an object")
+            continue
+        for key, typ in _CASE_FIELDS.items():
+            if key not in case:
+                problems.append(f"suite[{i}] missing {key!r}")
+            elif not isinstance(case[key], typ) or isinstance(case[key], bool):
+                problems.append(f"suite[{i}].{key} has wrong type")
+        calls = case.get("layer_calls")
+        if isinstance(calls, dict):
+            for k, v in calls.items():
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    problems.append(
+                        f"suite[{i}].layer_calls[{k!r}] must be a "
+                        "non-negative integer"
+                    )
+        wall = case.get("wall_s")
+        if isinstance(wall, list) and (
+            not wall or any(
+                not isinstance(w, (int, float)) or w <= 0 for w in wall
+            )
+        ):
+            problems.append(f"suite[{i}].wall_s must be positive numbers")
+    agg = doc.get("aggregate")
+    if not isinstance(agg, dict):
+        problems.append("aggregate must be an object")
+    else:
+        for key in ("sim_ops", "wall_s_best", "ops_per_wall_s"):
+            if not isinstance(agg.get(key), (int, float)) \
+                    or isinstance(agg.get(key), bool):
+                problems.append(f"aggregate.{key} must be a number")
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# baseline comparison (ratio-based, median-normalized)
+# ---------------------------------------------------------------------- #
+
+def _median(xs: List[float]) -> float:
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def compare_to_baseline(
+    current: Dict, baseline: Dict, max_regression: float = 0.30,
+) -> Tuple[bool, List[str]]:
+    """Gate: fail when any case's ops/wall-s regressed >``max_regression``
+    relative to the suite median ratio.
+
+    Normalizing by the median ratio cancels uniform host-speed
+    differences (a loaded shared runner slows every case alike), so the
+    gate only fires on *relative* regressions — one case getting slower
+    than its peers, which is what a code regression looks like.
+    """
+    lines: List[str] = []
+    base_by_key = {
+        (c["fs"], c["workload"]): c for c in baseline.get("suite", [])
+    }
+    ratios: Dict[Tuple[str, str], float] = {}
+    for case in current.get("suite", []):
+        key = (case["fs"], case["workload"])
+        base = base_by_key.get(key)
+        if base is None or not base.get("ops_per_wall_s"):
+            lines.append(f"{key[0]}/{key[1]}: no baseline case, skipped")
+            continue
+        ratios[key] = case["ops_per_wall_s"] / base["ops_per_wall_s"]
+    if not ratios:
+        return False, ["no comparable cases between current and baseline"]
+    med = _median(list(ratios.values()))
+    ok = True
+    floor = (1.0 - max_regression) * med
+    for key, ratio in sorted(ratios.items()):
+        rel = ratio / med
+        status = "ok"
+        if ratio < floor:
+            status = f"REGRESSED ({1 - rel:.0%} below suite median)"
+            ok = False
+        lines.append(
+            f"{key[0]}/{key[1]}: {ratio:.2f}x vs baseline "
+            f"(suite median {med:.2f}x) {status}"
+        )
+    return ok, lines
+
+
+def render_text(doc: Dict) -> str:
+    """Human-readable table for ``repro bench`` without ``--json``."""
+    lines = [
+        f"{'fs':<10} {'workload':<12} {'sim_ops':>9} {'wall ms':>9} "
+        f"{'kops/wall-s':>12}"
+    ]
+    for case in doc["suite"]:
+        lines.append(
+            f"{case['fs']:<10} {case['workload']:<12} "
+            f"{case['sim_ops']:>9} {case['wall_s_best'] * 1e3:>9.1f} "
+            f"{case['ops_per_wall_s'] / 1e3:>12.1f}"
+        )
+    agg = doc["aggregate"]
+    lines.append(
+        f"{'aggregate':<23} {agg['sim_ops']:>9} "
+        f"{agg['wall_s_best'] * 1e3:>9.1f} "
+        f"{agg['ops_per_wall_s'] / 1e3:>12.1f}"
+    )
+    base = doc.get("baseline")
+    if base and base.get("speedup"):
+        lines.append(
+            f"speedup vs baseline ({base['ops_per_wall_s']:.0f} ops/wall-s): "
+            f"{base['speedup']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def load_document(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def dump_document(doc: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

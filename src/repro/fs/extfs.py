@@ -45,7 +45,7 @@ from repro.fs.layout import (
     SuperblockLayout,
 )
 from repro.fs.vfs import BaseFileSystem, Stat
-from repro.host.page_cache import CachedPage, PageCache
+from repro.host.page_cache import CACHELINE, CachedPage, PageCache
 from repro.ssd.device import MSSD
 from repro.stats.traffic import StructKind
 from repro.trace import tracer as trace
@@ -526,8 +526,17 @@ class ExtFS(BaseFileSystem):
         (discard-after-commit, like Ext4's ``-o discard``)."""
         blocks = self._pending_trims.pop(trim_key, None)
         if blocks:
-            for b in sorted(blocks):
-                self.device.trim(b)
+            # Contiguous runs collapse into one ranged TRIM each; the
+            # device processes a range in ascending order, so this is
+            # identical to trimming block by block in sorted order.
+            ordered = sorted(blocks)
+            start = prev = ordered[0]
+            for b in ordered[1:]:
+                if b != prev + 1:
+                    self.device.trim(start, prev - start + 1)
+                    start = b
+                prev = b
+            self.device.trim(start, prev - start + 1)
 
     # ------------------------------------------------------------------ #
     # file extents
@@ -910,27 +919,29 @@ class ExtFS(BaseFileSystem):
     def _write_buffered(self, inode: Inode, offset: int, data: bytes) -> int:
         pos = offset
         i = 0
-        while i < len(data):
-            pidx = pos // self.P
-            poff = pos % self.P
-            n = min(self.P - poff, len(data) - i)
-            page = self.page_cache.lookup(inode.ino, pidx)
+        nbytes = len(data)
+        P = self.P
+        cache = self.page_cache
+        cow = self.cfg.data_byte_policy
+        while i < nbytes:
+            pidx = pos // P
+            poff = pos % P
+            n = min(P - poff, nbytes - i)
+            page = cache.lookup(inode.ino, pidx)
             if page is None:
-                if n < self.P and pos < inode.size:
+                if n < P and pos < inode.size:
                     base = self._read_page_from_device(inode, pidx)
                 else:
-                    base = bytes(self.P)
-                page = self.page_cache.install(
+                    base = bytes(P)
+                page = cache.install(
                     inode.ino, pidx, base, self._evict_writeback
                 )
-            self.page_cache.mark_dirty(
-                inode.ino, pidx, cow=self.cfg.data_byte_policy
-            )
+            cache.mark_page_dirty(page, cow)
             page.data[poff : poff + n] = data[i : i + n]
             i += n
             pos += n
-        self.clock.advance(self.timing.host_memcpy_ns(len(data)))
-        return len(data)
+        self.clock.advance(self.timing.host_memcpy_ns(nbytes))
+        return nbytes
 
     def _write_direct(self, inode: Inode, offset: int, data: bytes) -> int:
         """O_DIRECT write: byte interface when <= 512 B (§4.6)."""
@@ -1015,13 +1026,19 @@ class ExtFS(BaseFileSystem):
             return "none"
         if self.cfg.data_byte_policy and page.original is not None:
             # XOR the duplicate against the page to find dirty lines.
+            # One diff serves both the ratio and the chunk list (the
+            # page cannot change between the two uses).
             self.clock.advance(self.timing.xor_page_ns)
-            ratio = page.modified_ratio()
+            chunks = page.dirty_chunks()
+            ratio = sum(
+                -(-length // CACHELINE) for _off, length in chunks
+            ) / (len(page.data) // CACHELINE)
             if ratio < self.cfg.byte_ratio_threshold:
-                for off, length in page.dirty_chunks():
+                view = memoryview(page.data)
+                for off, length in chunks:
                     self.device.store(
                         blk * self.P + off,
-                        bytes(page.data[off : off + length]),
+                        bytes(view[off : off + length]),
                         StructKind.DATA,
                         txid=txid,
                     )
@@ -1153,9 +1170,7 @@ class ExtFS(BaseFileSystem):
             page = self.page_cache.install(
                 inode.ino, pidx, data, self._evict_writeback
             )
-        self.page_cache.mark_dirty(
-            inode.ino, pidx, cow=self.cfg.data_byte_policy
-        )
+        self.page_cache.mark_page_dirty(page, cow=self.cfg.data_byte_policy)
         page.data[poff:] = bytes(self.P - poff)
 
     # ------------------------------------------------------------------ #

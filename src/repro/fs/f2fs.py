@@ -244,8 +244,18 @@ class F2FS(BaseFileSystem):
             slot, cp + bytes(self.P - len(cp)), StructKind.SUPERBLOCK
         )
         # The checkpoint is durable: stale pre-checkpoint blocks can go.
-        for blk in self._pending_trim:
-            self.device.trim(blk)
+        # Ascending runs that are adjacent in the free order collapse
+        # into one ranged TRIM; the free order itself is preserved (the
+        # firmware's invalidation bookkeeping is order-sensitive).
+        pending = self._pending_trim
+        if pending:
+            start = prev = pending[0]
+            for blk in pending[1:]:
+                if blk != prev + 1:
+                    self.device.trim(start, prev - start + 1)
+                    start = blk
+                prev = blk
+            self.device.trim(start, prev - start + 1)
         self._pending_trim.clear()
         self._seg_free.extend(self._pending_free_segs)
         self._pending_free_segs.clear()
@@ -746,7 +756,7 @@ class F2FS(BaseFileSystem):
                 page = self.page_cache.install(
                     ino, pidx, base, self._evict_writeback
                 )
-            self.page_cache.mark_dirty(ino, pidx, cow=False)
+            self.page_cache.mark_page_dirty(page, cow=False)
             page.data[poff : poff + n] = data[i : i + n]
             i += n
             pos += n
@@ -817,7 +827,7 @@ class F2FS(BaseFileSystem):
                     ino, pidx, data, self._evict_writeback
                 )
             if page is not None:
-                self.page_cache.mark_dirty(ino, pidx, cow=False)
+                self.page_cache.mark_page_dirty(page, cow=False)
                 page.data[poff:] = bytes(self.P - poff)
         node.size = size
         node.mtime = self.clock.now

@@ -284,13 +284,26 @@ def dentry_record_size(name_len: int) -> int:
     return DENTRY_HEADER + -(-name_len // DENTRY_ALIGN) * DENTRY_ALIGN
 
 
+_DENTRY_CACHE: dict = {}
+
+
 def encode_dentry(ino: int, ftype: int, name: str) -> bytes:
+    # Pure function of its arguments, and directory flushes re-encode
+    # every live entry on each rewrite — memoize the record bytes.
+    key = (ino, ftype, name)
+    rec = _DENTRY_CACHE.get(key)
+    if rec is not None:
+        return rec
     raw = name.encode()
     if not 0 < len(raw) <= MAX_NAME:
         raise ValueError(f"bad name length {len(raw)}")
     rec = struct.pack("<IHH", ino, ftype, len(raw)) + raw
     size = dentry_record_size(len(raw))
-    return rec + bytes(size - len(rec))
+    rec = rec + bytes(size - len(rec))
+    if len(_DENTRY_CACHE) >= 65536:
+        _DENTRY_CACHE.clear()
+    _DENTRY_CACHE[key] = rec
+    return rec
 
 
 def decode_dentries(block: bytes):

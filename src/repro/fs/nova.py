@@ -226,10 +226,18 @@ class NovaFS(BaseFileSystem):
             StructKind.JOURNAL,
         )
         self._journal_active = False
-        for page in sorted(self._pending_frees):
-            self._used_pages.discard(page)
-            self._free_pages.append(page)
-            self.device.trim(page)
+        pending = sorted(self._pending_frees)
+        if pending:
+            start = prev = pending[0]
+            for page in pending:
+                self._used_pages.discard(page)
+                self._free_pages.append(page)
+                # Contiguous runs collapse into one ranged TRIM each.
+                if page > prev + 1:
+                    self.device.trim(start, prev - start + 1)
+                    start = page
+                prev = page
+            self.device.trim(start, prev - start + 1)
         self._pending_frees.clear()
 
     def _lite_journal_rollback(self) -> None:

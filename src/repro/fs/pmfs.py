@@ -212,8 +212,17 @@ class PMFS(BaseFileSystem):
             # Commit: invalidate the undo records in one atomic store.
             self._write_journal_header(0)
             self._journal_off = 0
-        for page in sorted(self._pending_trims):
-            self.device.trim(page)
+        pending = sorted(self._pending_trims)
+        if pending:
+            # Contiguous runs become one ranged TRIM each (ascending
+            # processing inside the device matches page-by-page calls).
+            start = prev = pending[0]
+            for page in pending[1:]:
+                if page != prev + 1:
+                    self.device.trim(start, prev - start + 1)
+                    start = page
+                prev = page
+            self.device.trim(start, prev - start + 1)
         self._pending_trims.clear()
 
     def _journal_undo(self, addr: int, length: int) -> None:

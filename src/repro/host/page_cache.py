@@ -15,15 +15,28 @@ pages over the block interface).
 from __future__ import annotations
 
 from collections import OrderedDict
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+try:  # declared project dependency; the fallback keeps minimal envs alive
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 CACHELINE = 64
+_ZERO_LINE = bytes(CACHELINE)
 
 
 class CachedPage:
-    """One cached file page, with an optional CoW duplicate."""
+    """One cached file page, with an optional CoW duplicate.
 
-    __slots__ = ("data", "dirty", "original")
+    ``_key``/``_notify`` are set by the owning :class:`PageCache` so that
+    :meth:`clean` can report dirty->clean transitions (file systems call
+    it directly on writeback); the cache uses them to keep its eviction
+    candidate index exact.
+    """
+
+    __slots__ = ("data", "dirty", "original", "_key", "_notify")
 
     def __init__(self, data: bytes, page_size: int) -> None:
         if len(data) < page_size:
@@ -31,6 +44,8 @@ class CachedPage:
         self.data = bytearray(data)
         self.dirty = False
         self.original: Optional[bytes] = None  # CoW duplicate page
+        self._key: Optional[Tuple[int, int]] = None
+        self._notify: Optional[Callable[[Tuple[int, int]], None]] = None
 
     def mark_dirty(self, cow: bool) -> None:
         if cow and self.original is None:
@@ -45,12 +60,53 @@ class CachedPage:
         """
         if self.original is None:
             return [(0, len(self.data))]
-        runs: List[Tuple[int, int]] = []
+        n = len(self.data)
+        if _np is not None:
+            # Vectorized per-cacheline diff (word-wide compare), then
+            # runs are rebuilt from the dirty line index groups.
+            if n % 8 == 0:
+                neq = _np.not_equal(
+                    _np.frombuffer(self.data, dtype=_np.int64),
+                    _np.frombuffer(self.original, dtype=_np.int64),
+                )
+                per_line = CACHELINE // 8
+            else:
+                neq = _np.not_equal(
+                    _np.frombuffer(self.data, dtype=_np.uint8),
+                    _np.frombuffer(self.original, dtype=_np.uint8),
+                )
+                per_line = CACHELINE
+            m = n // CACHELINE
+            full = m * per_line
+            line_dirty = neq[:full].reshape(m, per_line).any(axis=1)
+            if n % CACHELINE:
+                line_dirty = _np.append(line_dirty, neq[full:].any())
+            lines = line_dirty.nonzero()[0].tolist()
+            if not lines:
+                return []
+            runs: List[Tuple[int, int]] = []
+            start = prev = lines[0]
+            for i in lines[1:]:
+                if i != prev + 1:
+                    runs.append(
+                        (start * CACHELINE, (prev + 1 - start) * CACHELINE)
+                    )
+                    start = i
+                prev = i
+            hi = (prev + 1) * CACHELINE
+            runs.append(
+                (start * CACHELINE, (hi if hi < n else n) - start * CACHELINE)
+            )
+            return runs
+        if self.data == self.original:
+            return []
+        cur = memoryview(self.data)
+        old = memoryview(self.original)
+        runs = []
         run_start = -1
-        for off in range(0, len(self.data), CACHELINE):
+        for off in range(0, n, CACHELINE):
             chunk_dirty = (
-                self.data[off : off + CACHELINE]
-                != self.original[off : off + CACHELINE]
+                cur[off : off + CACHELINE] != old[off : off + CACHELINE]
             )
             if chunk_dirty and run_start < 0:
                 run_start = off
@@ -58,7 +114,7 @@ class CachedPage:
                 runs.append((run_start, off - run_start))
                 run_start = -1
         if run_start >= 0:
-            runs.append((run_start, len(self.data) - run_start))
+            runs.append((run_start, n - run_start))
         return runs
 
     def modified_ratio(self) -> float:
@@ -72,15 +128,30 @@ class CachedPage:
     def clean(self) -> None:
         self.dirty = False
         self.original = None
+        notify = self._notify
+        if notify is not None:
+            notify(self._key)
 
 
 class AddressSpace:
-    """Per-inode page index (the kernel's ``struct address_space``)."""
+    """Per-inode page index (the kernel's ``struct address_space``).
 
-    def __init__(self, ino: int, page_size: int) -> None:
+    ``on_drop`` (set by the owning :class:`PageCache`) is notified when a
+    present page is dropped, so the cache can track keys whose LRU entry
+    went stale behind its back (file systems truncate by calling
+    :meth:`drop` directly).
+    """
+
+    def __init__(
+        self,
+        ino: int,
+        page_size: int,
+        on_drop: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         self.ino = ino
         self.page_size = page_size
         self.pages: Dict[int, CachedPage] = {}
+        self._on_drop = on_drop
 
     def get(self, index: int) -> Optional[CachedPage]:
         return self.pages.get(index)
@@ -91,7 +162,9 @@ class AddressSpace:
         return page
 
     def drop(self, index: int) -> None:
-        self.pages.pop(index, None)
+        if self.pages.pop(index, None) is not None \
+                and self._on_drop is not None:
+            self._on_drop(self.ino, index)
 
     def dirty_pages(self) -> Iterator[Tuple[int, CachedPage]]:
         for index in sorted(self.pages):
@@ -121,7 +194,23 @@ class PageCache:
         self.capacity_pages = capacity_pages
         self.page_size = page_size
         self._spaces: Dict[int, AddressSpace] = {}
-        self._lru: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # LRU value = the CachedPage itself: eviction needs no per-entry
+        # space lookup.  Keys whose page was dropped behind the cache's
+        # back (direct AddressSpace.drop from a truncate path) land in
+        # _stale_keys via the space's on_drop hook; a stale key still
+        # occupies an LRU slot and is victimized like a clean page.
+        self._lru: "OrderedDict[Tuple[int, int], CachedPage]" = OrderedDict()
+        self._stale_keys: set = set()
+        # Exact O(log n) victim index: _pos stamps each key with its LRU
+        # rank (restamped on every move_to_end), and _cand holds
+        # (stamp, key) entries for keys that were clean or stale when
+        # pushed.  Entries are validated lazily on pop — a key that was
+        # restamped, evicted, or dirtied since the push is discarded —
+        # so the minimal valid entry is exactly the least-recently-used
+        # clean-or-stale key the old linear scan would have found.
+        self._pos: Dict[Tuple[int, int], int] = {}
+        self._cand: List[Tuple[int, Tuple[int, int]]] = []
+        self._ctr = 0
         self.hits = 0
         self.misses = 0
         self.cow_copies = 0
@@ -131,15 +220,34 @@ class PageCache:
     def space(self, ino: int) -> AddressSpace:
         space = self._spaces.get(ino)
         if space is None:
-            space = AddressSpace(ino, self.page_size)
+            space = AddressSpace(ino, self.page_size, self._note_drop)
             self._spaces[ino] = space
         return space
 
+    def _note_drop(self, ino: int, index: int) -> None:
+        key = (ino, index)
+        pos = self._pos.get(key)
+        if pos is not None:
+            self._stale_keys.add(key)
+            heappush(self._cand, (pos, key))
+
+    def _note_clean(self, key: Tuple[int, int]) -> None:
+        pos = self._pos.get(key)
+        if pos is not None:
+            heappush(self._cand, (pos, key))
+
     def lookup(self, ino: int, index: int) -> Optional[CachedPage]:
-        page = self.space(ino).get(index)
+        space = self._spaces.get(ino)
+        page = space.pages.get(index) if space is not None else None
         if page is not None:
             self.hits += 1
-            self._lru.move_to_end((ino, index))
+            key = (ino, index)
+            self._lru.move_to_end(key)
+            pos = self._ctr
+            self._ctr = pos + 1
+            self._pos[key] = pos
+            if not page.dirty:
+                heappush(self._cand, (pos, key))
         else:
             self.misses += 1
         return page
@@ -148,36 +256,74 @@ class PageCache:
         self, ino: int, index: int, data: bytes, writeback: WritebackFn
     ) -> CachedPage:
         self._make_room(writeback)
-        page = self.space(ino).install(index, data)
-        self._lru[(ino, index)] = None
+        space = self.space(ino)
+        page = space.install(index, data)
+        key = (ino, index)
+        page._key = key
+        page._notify = self._note_clean
+        pos = self._pos.get(key)
+        if pos is None:
+            # Re-installing over a stale key keeps its LRU position
+            # (OrderedDict value assignment does not move the entry), so
+            # only genuinely new keys get a fresh stamp.
+            pos = self._ctr
+            self._ctr = pos + 1
+            self._pos[key] = pos
+        self._lru[key] = page
+        self._stale_keys.discard(key)
+        heappush(self._cand, (pos, key))
         return page
 
     def mark_dirty(self, ino: int, index: int, cow: bool) -> None:
-        page = self.space(ino).get(index)
+        space = self._spaces.get(ino)
+        page = space.pages.get(index) if space is not None else None
         if page is None:
             raise KeyError(f"page ({ino}, {index}) not cached")
-        had_dup = page.original is not None
-        page.mark_dirty(cow)
-        if cow and not had_dup and page.original is not None:
+        self.mark_page_dirty(page, cow)
+
+    def mark_page_dirty(self, page: CachedPage, cow: bool) -> None:
+        """Like :meth:`mark_dirty` when the caller already holds the page
+        (skips the two-level index lookup on the buffered-write path)."""
+        if cow and page.original is None:
+            page.original = bytes(page.data)
             self.cow_copies += 1
+        page.dirty = True
 
     def _make_room(self, writeback: WritebackFn) -> None:
         while len(self._lru) >= self.capacity_pages:
+            # Prefer the least-recently-used clean (or stale) page: pop
+            # candidates until one still matches its stamp and is still
+            # clean or stale.  Every clean-or-stale key has at least one
+            # current-stamp entry (pushed on install, on clean(), on
+            # drop-behind-our-back, and on restamp of a clean page), so
+            # an empty/exhausted heap means every cached page is dirty.
+            stale = self._stale_keys
+            cand = self._cand
+            pos_map = self._pos
             victim_key = None
-            # Prefer the least-recently-used *clean* page.
-            for key in self._lru:
-                ino, index = key
-                page = self._spaces[ino].get(index)
-                if page is None or not page.dirty:
-                    victim_key = key
-                    break
+            victim_page = None
+            while cand:
+                pos, key = cand[0]
+                if pos_map.get(key) != pos:
+                    heappop(cand)  # restamped or evicted since pushed
+                    continue
+                page = self._lru[key]
+                if page.dirty and key not in stale:
+                    heappop(cand)  # dirtied since pushed
+                    continue
+                victim_key = key
+                victim_page = page
+                break
             if victim_key is None:
-                victim_key = next(iter(self._lru))
+                victim_key, victim_page = next(iter(self._lru.items()))
             ino, index = victim_key
-            page = self._spaces[ino].get(index)
-            if page is not None and page.dirty:
-                writeback(ino, index, page)
-            self._spaces[ino].drop(index)
+            if victim_page.dirty and victim_key not in stale:
+                writeback(ino, index, victim_page)
+            space = self._spaces.get(ino)
+            if space is not None:
+                space.drop(index)
+            stale.discard(victim_key)
+            del self._pos[victim_key]
             del self._lru[victim_key]
 
     # ------------------------------------------------------------------ #
@@ -199,12 +345,17 @@ class PageCache:
         space = self._spaces.pop(ino, None)
         if space is not None:
             for index in space.pages:
-                self._lru.pop((ino, index), None)
+                key = (ino, index)
+                if self._lru.pop(key, None) is not None:
+                    self._pos.pop(key, None)
 
     def drop_all(self) -> None:
         """Crash: volatile host memory is lost."""
         self._spaces.clear()
         self._lru.clear()
+        self._stale_keys.clear()
+        self._pos.clear()
+        self._cand.clear()
 
     # ------------------------------------------------------------------ #
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
 from repro.sim.resources import Pipeline, Resource
@@ -34,6 +32,17 @@ class HostLink:
         self.mmio_reads = 0
         self.mmio_writes = 0
         self.dma_transfers = 0
+        # TimingModel is frozen and the pipelines are never replaced, so
+        # the per-transfer hot paths use these cached bindings.
+        self._mmio_read_ns = timing.mmio_read_ns
+        self._mmio_write_ns = timing.mmio_write_ns
+        self._nonposted_serve_many = self._nonposted.serve_many
+        self._posted_serve_many = self._posted.serve_many
+        self._persist_flush_ns = timing.persist_flush_ns
+        self._nvme_cmd_ns = timing.nvme_cmd_ns
+        self._dma_transfer_ns = timing.dma_transfer_ns
+        self._dma_serve = self._dma.serve
+        self._barrier_serve = self._barrier.serve
 
     # ------------------------------------------------------------------ #
     # byte interface
@@ -44,15 +53,14 @@ class HostLink:
         trip, with up to ``mmio_read_parallelism`` loads in flight."""
         _sp = trace.begin("link", "mmio_read", nbytes=nbytes) \
             if trace.ENABLED else None
-        lines = max(1, math.ceil(nbytes / CACHELINE))
-        end = self.clock.now
-        for _ in range(lines):
-            end = max(
-                end,
-                self._nonposted.serve(self.clock.now, self.timing.mmio_read_ns),
-            )
+        lines = (nbytes + CACHELINE - 1) // CACHELINE or 1
+        # The clock does not advance inside the loop, so every line is
+        # served from the same `now`; the pipeline batches the whole
+        # burst (max end == last end on a greedy pipeline).
+        clock = self.clock
+        end = self._nonposted_serve_many(clock.now, self._mmio_read_ns, lines)
         self.mmio_reads += lines
-        self.clock.advance_to(end)
+        clock.advance_to(end)
         if _sp is not None:
             trace.end(_sp)
 
@@ -60,12 +68,13 @@ class HostLink:
         """Store ``nbytes`` via MMIO.  Posted: writes pipeline."""
         _sp = trace.begin("link", "mmio_write", nbytes=nbytes) \
             if trace.ENABLED else None
-        lines = max(1, math.ceil(nbytes / CACHELINE))
-        end = self.clock.now
-        for _ in range(lines):
-            end = self._posted.serve(self.clock.now, self.timing.mmio_write_ns)
+        lines = (nbytes + CACHELINE - 1) // CACHELINE or 1
+        # Posted writes retire in issue order: completion time is the
+        # *last* lane finish; the whole burst issues from the same `now`.
+        clock = self.clock
+        end = self._posted_serve_many(clock.now, self._mmio_write_ns, lines)
         self.mmio_writes += lines
-        self.clock.advance_to(end)
+        clock.advance_to(end)
         if _sp is not None:
             trace.end(_sp)
 
@@ -77,16 +86,17 @@ class HostLink:
         """
         _sp = trace.begin("link", "persist_barrier", nlines=nlines) \
             if trace.ENABLED else None
-        self.clock.advance(self.timing.persist_flush_ns * max(1, nlines))
-        end = self._barrier.serve(self.clock.now, self.timing.mmio_read_ns)
-        self.clock.advance_to(end)
+        clock = self.clock
+        clock.advance(self._persist_flush_ns * (nlines if nlines > 1 else 1))
+        end = self._barrier_serve(clock.now, self._mmio_read_ns)
+        clock.advance_to(end)
         if _sp is not None:
             trace.end(_sp)
 
     def mmio_persist_write(self, nbytes: int) -> None:
         """Convenience: posted write + flush + write-verify read."""
         self.mmio_write(nbytes)
-        self.persist_barrier(max(1, math.ceil(nbytes / CACHELINE)))
+        self.persist_barrier((nbytes + CACHELINE - 1) // CACHELINE or 1)
 
     # ------------------------------------------------------------------ #
     # block interface
@@ -96,12 +106,11 @@ class HostLink:
         """An NVMe data transfer: command overhead plus bytes/bandwidth."""
         _sp = trace.begin("link", "dma", nbytes=nbytes, write=write) \
             if trace.ENABLED else None
-        duration = self.timing.nvme_cmd_ns + self.timing.dma_transfer_ns(
-            nbytes, write
-        )
-        end = self._dma.serve(self.clock.now, duration)
+        duration = self._nvme_cmd_ns + self._dma_transfer_ns(nbytes, write)
+        clock = self.clock
+        end = self._dma_serve(clock.now, duration)
         self.dma_transfers += 1
-        self.clock.advance_to(end)
+        clock.advance_to(end)
         if _sp is not None:
             trace.end(_sp)
 

@@ -29,6 +29,8 @@ class FlashArray:
 
     def __init__(self, geometry: FlashGeometry) -> None:
         self.geometry = geometry
+        self._total_pages = geometry.total_pages
+        self._page_size = geometry.page_size
         self._pages: Dict[int, bytes] = {}
         self._programmed: set = set()
         self.erase_counts: Dict[int, int] = {}
@@ -38,28 +40,33 @@ class FlashArray:
 
     def read_page(self, ppa: int) -> bytes:
         """Read one full page; unprogrammed pages read as zeros."""
-        self._check_ppa(ppa)
+        if not 0 <= ppa < self._total_pages:
+            self._check_ppa(ppa)
         self.reads += 1
         data = self._pages.get(ppa)
         if data is None:
-            return bytes(self.geometry.page_size)
+            return bytes(self._page_size)
         return data
 
     def program_page(self, ppa: int, data: bytes) -> None:
         """Program one page; re-programming without erase is an error."""
-        self._check_ppa(ppa)
+        if not 0 <= ppa < self._total_pages:
+            self._check_ppa(ppa)
         if ppa in self._programmed:
             raise FlashError(
                 f"page {ppa} already programmed; erase block first"
             )
-        if len(data) > self.geometry.page_size:
-            raise FlashError(
-                f"data ({len(data)} B) exceeds page size "
-                f"({self.geometry.page_size} B)"
-            )
-        if len(data) < self.geometry.page_size:
-            data = data + bytes(self.geometry.page_size - len(data))
-        self._pages[ppa] = bytes(data)
+        n = len(data)
+        page_size = self._page_size
+        if n != page_size:
+            if n > page_size:
+                raise FlashError(
+                    f"data ({n} B) exceeds page size ({page_size} B)"
+                )
+            data = data + bytes(page_size - n)
+        # Skip the defensive copy when the caller already handed over an
+        # immutable page image (the common case on the write path).
+        self._pages[ppa] = data if type(data) is bytes else bytes(data)
         self._programmed.add(ppa)
         self.writes += 1
 

@@ -34,30 +34,30 @@ class FlashGeometry:
         ):
             if getattr(self, field) < 1:
                 raise ValueError(f"{field} must be >= 1")
-
-    @property
-    def pages_per_way(self) -> int:
-        return self.blocks_per_way * self.pages_per_block
-
-    @property
-    def pages_per_channel(self) -> int:
-        return self.ways_per_channel * self.pages_per_way
-
-    @property
-    def total_pages(self) -> int:
-        return self.n_channels * self.pages_per_channel
-
-    @property
-    def total_blocks(self) -> int:
-        return self.n_channels * self.ways_per_channel * self.blocks_per_way
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.total_pages * self.page_size
-
-    @property
-    def block_size(self) -> int:
-        return self.pages_per_block * self.page_size
+        # Derived sizes, memoized: address arithmetic reads these on every
+        # FTL allocation/lookup and recomputing property chains per access
+        # shows up in profiles.  Not dataclass fields, so repr/eq/replace
+        # are unaffected; replace() re-derives them via this __post_init__.
+        object.__setattr__(
+            self, "pages_per_way", self.blocks_per_way * self.pages_per_block
+        )
+        object.__setattr__(
+            self, "pages_per_channel",
+            self.ways_per_channel * self.pages_per_way,
+        )
+        object.__setattr__(
+            self, "total_pages", self.n_channels * self.pages_per_channel
+        )
+        object.__setattr__(
+            self, "total_blocks",
+            self.n_channels * self.ways_per_channel * self.blocks_per_way,
+        )
+        object.__setattr__(
+            self, "capacity_bytes", self.total_pages * self.page_size
+        )
+        object.__setattr__(
+            self, "block_size", self.pages_per_block * self.page_size
+        )
 
     # ------------------------------------------------------------------ #
     # address arithmetic
@@ -85,7 +85,11 @@ class FlashGeometry:
         return channel, way, block, page
 
     def channel_of(self, ppa: int) -> int:
-        return self.unpack(ppa)[0]
+        # Equivalent to unpack(ppa)[0]: the layout is dense, so the
+        # channel is a single division (positive ints, associative //).
+        if not 0 <= ppa < self.total_pages:
+            raise ValueError(f"ppa {ppa} out of range")
+        return ppa // self.pages_per_channel
 
     def block_id_of(self, ppa: int) -> int:
         """Global block id (0 .. total_blocks-1) containing this PPA."""

@@ -58,12 +58,27 @@ class TimingModel:
     # device DRAM
     dram_access_ns: float = 100.0
 
+    def __post_init__(self) -> None:
+        # Memoize the ns/byte factors: dma_transfer_ns/host_memcpy_ns sit
+        # on the hot path and the conversion only depends on the (frozen)
+        # bandwidth fields.  Same float as computing it per call.
+        object.__setattr__(
+            self, "_read_ns_per_byte", _bw_ns_per_byte(self.link_read_gbps)
+        )
+        object.__setattr__(
+            self, "_write_ns_per_byte", _bw_ns_per_byte(self.link_write_gbps)
+        )
+        object.__setattr__(
+            self, "_memcpy_ns_per_byte", _bw_ns_per_byte(self.host_memcpy_gbps)
+        )
+
     def dma_transfer_ns(self, nbytes: int, write: bool) -> float:
-        gbps = self.link_write_gbps if write else self.link_read_gbps
-        return nbytes * _bw_ns_per_byte(gbps)
+        return nbytes * (
+            self._write_ns_per_byte if write else self._read_ns_per_byte
+        )
 
     def host_memcpy_ns(self, nbytes: int) -> float:
-        return nbytes * _bw_ns_per_byte(self.host_memcpy_gbps)
+        return nbytes * self._memcpy_ns_per_byte
 
     def with_flash_latency(
         self, read_us: float, write_us: float

@@ -13,6 +13,9 @@ All times are nanoseconds, held as floats.
 
 from __future__ import annotations
 
+import heapq
+from typing import List, Tuple
+
 from repro.analysis import fssan
 
 NSEC = 1.0
@@ -27,7 +30,13 @@ class VirtualClock:
     ``now`` refers to the currently selected thread's time.  ``elapsed``
     is the wall-clock span of the whole simulation: the maximum thread
     time reached so far.
+
+    ``now`` is a plain attribute (not a property): it is the single most
+    read value in the simulator, and every mutator below maintains the
+    invariant ``now == _times[_cur]``.  Treat it as read-only.
     """
+
+    __slots__ = ("_times", "_cur", "_max_seen", "_ready", "now")
 
     def __init__(self, n_threads: int = 1) -> None:
         if n_threads < 1:
@@ -35,6 +44,13 @@ class VirtualClock:
         self._times = [0.0] * n_threads
         self._cur = 0
         self._max_seen = 0.0
+        self.now = 0.0
+        # Lazy min-heap over (time, tid) backing next_thread().  advance()
+        # never touches it; stale entries are revalidated on pop, which is
+        # sound because timelines are monotone between resets.
+        self._ready: List[Tuple[float, int]] = [
+            (0.0, tid) for tid in range(n_threads)
+        ]
 
     @property
     def n_threads(self) -> int:
@@ -45,14 +61,15 @@ class VirtualClock:
         return self._cur
 
     @property
-    def now(self) -> float:
-        """Current time (ns) of the selected thread."""
-        return self._times[self._cur]
-
-    @property
     def elapsed_ns(self) -> float:
-        """Wall-clock span: the furthest any thread has progressed."""
-        return max(self._max_seen, max(self._times))
+        """Wall-clock span: the furthest any thread has progressed.
+
+        ``_max_seen`` is the single source of truth — every mutation of
+        ``_times`` maintains it, so no rescan of the timelines is needed.
+        """
+        if fssan.ENABLED:
+            fssan.check_clock_elapsed(self._max_seen, max(self._times))
+        return self._max_seen
 
     @property
     def elapsed_s(self) -> float:
@@ -63,26 +80,28 @@ class VirtualClock:
         if not 0 <= tid < len(self._times):
             raise IndexError(f"thread id {tid} out of range")
         self._cur = tid
+        self.now = self._times[tid]
 
     def advance(self, ns: float) -> float:
         """Charge ``ns`` nanoseconds to the current thread; return new now."""
         if ns < 0:
             raise ValueError(f"cannot advance by negative time {ns}")
-        old = self._times[self._cur]
-        self._times[self._cur] += ns
-        if self._times[self._cur] > self._max_seen:
-            self._max_seen = self._times[self._cur]
+        old = self.now
+        t = old + ns
+        self._times[self._cur] = t
+        self.now = t
+        if t > self._max_seen:
+            self._max_seen = t
         if fssan.ENABLED:
-            fssan.check_clock_advance(
-                old, self._times[self._cur], self._max_seen
-            )
-        return self._times[self._cur]
+            fssan.check_clock_advance(old, t, self._max_seen)
+        return t
 
     def advance_to(self, t_ns: float) -> float:
         """Move the current thread forward to ``t_ns`` (no-op if in the past)."""
-        old = self._times[self._cur]
-        if t_ns > self._times[self._cur]:
+        old = self.now
+        if t_ns > old:
             self._times[self._cur] = t_ns
+            self.now = t_ns
             if t_ns > self._max_seen:
                 self._max_seen = t_ns
         if fssan.ENABLED:
@@ -90,10 +109,8 @@ class VirtualClock:
                 raise fssan.SanitizerError(
                     fssan.CLOCK, "advance_to(NaN) would silently no-op"
                 )
-            fssan.check_clock_advance(
-                old, self._times[self._cur], self._max_seen
-            )
-        return self._times[self._cur]
+            fssan.check_clock_advance(old, self.now, self._max_seen)
+        return self.now
 
     def time_of(self, tid: int) -> float:
         return self._times[tid]
@@ -103,20 +120,29 @@ class VirtualClock:
 
         The workload runner uses this to pick which logical thread issues
         its next operation, giving a fair event-driven interleaving.
+
+        Backed by a lazy min-heap: stale entries (the thread advanced
+        since its entry was pushed) are replaced with the live time and
+        re-sifted; an entry whose time matches the live timeline is the
+        true minimum, because every other entry only *under*-estimates
+        its thread's time.  Ties break toward the lowest tid, exactly
+        like the linear scan this replaces.
         """
-        best = 0
-        best_t = self._times[0]
-        for tid in range(1, len(self._times)):
-            if self._times[tid] < best_t:
-                best = tid
-                best_t = self._times[tid]
-        return best
+        ready = self._ready
+        times = self._times
+        while True:
+            t, tid = ready[0]
+            live = times[tid]
+            if t == live:
+                return tid
+            heapq.heapreplace(ready, (live, tid))
 
     def sync_all(self) -> float:
         """Barrier: bring every thread up to the maximum timeline."""
         top = max(self._times)
         for tid in range(len(self._times)):
             self._times[tid] = top
+        self.now = top
         self._max_seen = max(self._max_seen, top)
         return top
 
@@ -125,3 +151,7 @@ class VirtualClock:
             self._times[tid] = 0.0
         self._max_seen = 0.0
         self._cur = 0
+        self.now = 0.0
+        # Timelines rewound: the lazy heap's monotonicity assumption no
+        # longer covers old entries, so rebuild it.
+        self._ready = [(0.0, tid) for tid in range(len(self._times))]

@@ -15,7 +15,6 @@ the data-structure tag supplied by the file system.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -31,6 +30,13 @@ from repro.ssd.firmware.baseline_fw import BaselineFirmware, BaselineFirmwareCon
 from repro.ssd.firmware.bytefs_fw import ByteFSFirmware, ByteFSFirmwareConfig
 from repro.stats.traffic import Direction, Interface, StructKind, TrafficStats
 from repro.trace import tracer as trace
+
+# Enum members hoisted out of the per-access hot paths (each Direction.X
+# costs a module-global plus an attribute load per call).
+_READ = Direction.READ
+_WRITE = Direction.WRITE
+_BYTE = Interface.BYTE
+_BLOCK = Interface.BLOCK
 
 
 @dataclass
@@ -69,6 +75,12 @@ class MSSD:
             faults.stats = stats
         self.geometry = config.geometry
         self.page_size = config.geometry.page_size
+        # Host-visible capacity is fixed at build time; memoized because
+        # _check_range consults it on every access.
+        self._capacity_blocks = int(
+            config.geometry.total_pages * (1 - config.overprovision)
+        )
+        self._capacity_bytes = self._capacity_blocks * self.page_size
         self.flash = FlashArray(config.geometry)
         self.channels = ChannelArray(config.geometry.n_channels)
         self.link = HostLink(clock, config.timing)
@@ -93,6 +105,16 @@ class MSSD:
         else:
             raise ValueError(f"unknown firmware variant {config.firmware!r}")
         self.firmware.faults = self.faults
+        # Bound methods cached for the per-access hot paths: none of these
+        # collaborators is ever replaced after construction.
+        self._record_host_ssd = stats.record_host_ssd
+        self._mmio_read = self.link.mmio_read
+        self._mmio_write = self.link.mmio_write
+        self._persist_barrier = self.link.persist_barrier
+        self._dma_xfer = self.link.dma
+        self._fw_byte_read = self.firmware.byte_read
+        self._fw_byte_write = self.firmware.byte_write
+        self._fw_block_write_many = self.firmware.block_write_many
 
     # ------------------------------------------------------------------ #
     # geometry helpers
@@ -101,14 +123,14 @@ class MSSD:
     @property
     def capacity_blocks(self) -> int:
         """Host-visible logical pages (raw flash minus overprovisioning)."""
-        return int(self.geometry.total_pages * (1 - self.config.overprovision))
+        return self._capacity_blocks
 
     @property
     def capacity_bytes(self) -> int:
-        return self.capacity_blocks * self.page_size
+        return self._capacity_bytes
 
     def _check_range(self, addr: int, length: int) -> None:
-        if addr < 0 or addr + length > self.capacity_bytes:
+        if addr < 0 or addr + length > self._capacity_bytes:
             raise ValueError(
                 f"device access [{addr}, {addr + length}) out of range"
             )
@@ -125,13 +147,17 @@ class MSSD:
         _sp = trace.begin("device", "load", nbytes=length, kind=kind.value) \
             if trace.ENABLED else None
         try:
-            self.stats.record_host_ssd(
-                kind, Direction.READ, Interface.BYTE, length
-            )
-            self.link.mmio_read(length)
+            self._record_host_ssd(kind, _READ, _BYTE, length)
+            self._mmio_read(length)
+            byte_read = self._fw_byte_read
+            page_size = self.page_size
+            off = addr % page_size
+            if off + length <= page_size:
+                # Single-page access: no split bookkeeping needed.
+                return bytes(byte_read(addr // page_size, off, length))
             out = bytearray()
             for lpa, off, n in self._split(addr, length):
-                out += self.firmware.byte_read(lpa, off, n)
+                out += byte_read(lpa, off, n)
             return bytes(out)
         finally:
             if _sp is not None:
@@ -162,30 +188,52 @@ class MSSD:
                           kind=kind.value, persist=persist) \
             if trace.ENABLED else None
         try:
-            self.stats.record_host_ssd(
-                kind, Direction.WRITE, Interface.BYTE, len(data)
-            )
-            self.link.mmio_write(len(data))
+            self._record_host_ssd(kind, _WRITE, _BYTE, len(data))
+            self._mmio_write(len(data))
             pos = 0
-            for lpa, off, n in self._split(addr, len(data)):
-                piece = data[pos : pos + n]
+            if self.faults is NULL_INJECTOR:
+                # No injector armed: skip the per-piece closure and site
+                # bookkeeping (the null site just calls apply(nbytes)).
+                byte_write = self._fw_byte_write
+                page_size = self.page_size
+                off = addr % page_size
+                if off + len(data) <= page_size:
+                    # Single-page store: no split bookkeeping needed.
+                    byte_write(addr // page_size, off, data, txid)
+                else:
+                    for lpa, off, n in self._split(addr, len(data)):
+                        byte_write(lpa, off, data[pos : pos + n], txid)
+                        pos += n
+            else:
+                for lpa, off, n in self._split(addr, len(data)):
+                    piece = data[pos : pos + n]
 
-                def _apply(k: int, lpa=lpa, off=off, piece=piece) -> None:
-                    # A torn store loses the trailing cachelines of this
-                    # piece; the prefix that did arrive is logged normally.
-                    if k:
-                        self.firmware.byte_write(lpa, off, piece[:k], txid)
+                    def _apply(k: int, lpa=lpa, off=off, piece=piece) -> None:
+                        # A torn store loses the trailing cachelines of
+                        # this piece; the prefix that did arrive is
+                        # logged normally.
+                        if k:
+                            # Each piece is its own crash site, so the
+                            # armed path cannot batch across pages.
+                            self.firmware.byte_write(  # repro: allow[PERF001]
+                                lpa, off, piece[:k], txid)
 
-                self.faults.site("mssd.store", _apply, n, atom=64)
-                pos += n
+                    self.faults.site("mssd.store", _apply, n, atom=64)
+                    pos += n
             if persist:
-                self.link.persist_barrier(max(1, math.ceil(len(data) / 64)))
+                # Integer ceiling; data is non-empty here so the result
+                # is always >= 1 (identical to max(1, ceil(n / 64))).
+                self._persist_barrier((len(data) + 63) // 64)
         finally:
             if _sp is not None:
                 trace.end(_sp)
 
     def _split(self, addr: int, length: int):
         """Split a byte range into (lpa, in-page offset, length) pieces."""
+        off = addr % self.page_size
+        if off + length <= self.page_size:
+            # Common case: the access stays within one page.
+            return [(addr // self.page_size, off, length)]
         pieces = []
         while length > 0:
             lpa = addr // self.page_size
@@ -209,9 +257,7 @@ class MSSD:
         _sp = trace.begin("device", "read_blocks", nbytes=nbytes,
                           kind=kind.value) if trace.ENABLED else None
         try:
-            self.stats.record_host_ssd(
-                kind, Direction.READ, Interface.BLOCK, nbytes
-            )
+            self._record_host_ssd(kind, _READ, _BLOCK, nbytes)
             out = bytearray()
             if n_blocks == 1:
                 out += self.firmware.block_read(lba)
@@ -222,7 +268,7 @@ class MSSD:
                     list(range(lba, lba + n_blocks))
                 ):
                     out += data
-            self.link.dma(nbytes, write=False)
+            self._dma_xfer(nbytes, write=False)
             return bytes(out)
         finally:
             if _sp is not None:
@@ -237,26 +283,50 @@ class MSSD:
         _sp = trace.begin("device", "write_blocks", nbytes=len(data),
                           kind=kind.value) if trace.ENABLED else None
         try:
-            self.stats.record_host_ssd(
-                kind, Direction.WRITE, Interface.BLOCK, len(data)
-            )
-            self.link.dma(len(data), write=True)
-            for i in range(n_blocks):
-                page = data[i * self.page_size : (i + 1) * self.page_size]
+            self._record_host_ssd(kind, _WRITE, _BLOCK, len(data))
+            self._dma_xfer(len(data), write=True)
+            page_size = self.page_size
+            # Local binding keeps the call spelled by its real name (the
+            # crash-site lint resolves callers by bare name).
+            block_write_many = self._fw_block_write_many
+            pending: List = []
+            try:
+                if self.faults is NULL_INJECTOR:
+                    if n_blocks == 1:
+                        pending.append((lba, data))
+                    else:
+                        for i in range(n_blocks):
+                            pending.append(
+                                (
+                                    lba + i,
+                                    data[i * page_size : (i + 1) * page_size],
+                                )
+                            )
+                else:
+                    for i in range(n_blocks):
+                        page = data[i * page_size : (i + 1) * page_size]
 
-                def _apply(k: int, lba=lba + i, page=page) -> None:
-                    if k == 0:
-                        return
-                    if k < len(page):
-                        # Torn DMA: leading sectors are new, the rest keep
-                        # whatever the device held before.
-                        old = self.firmware.block_read(lba)
-                        page = page[:k] + old[k:]
-                    self.firmware.block_write(lba, page, kind)
+                        def _apply(k: int, lba=lba + i, page=page) -> None:
+                            if k == 0:
+                                return
+                            if k < len(page):
+                                # Torn DMA: leading sectors are new, the
+                                # rest keep whatever the device held
+                                # before.
+                                old = self.firmware.block_read(lba)
+                                page = page[:k] + old[k:]
+                            pending.append((lba, page))
 
-                self.faults.site(
-                    "mssd.write_block", _apply, self.page_size, atom=512
-                )
+                        self.faults.site(
+                            "mssd.write_block", _apply, page_size, atom=512
+                        )
+            finally:
+                # The DMA already landed the applied pages in device DRAM;
+                # on a mid-batch CrashPoint they must still reach the
+                # firmware before the crash propagates (matching the old
+                # page-at-a-time behavior).
+                if pending:
+                    block_write_many(pending, kind)
         finally:
             if _sp is not None:
                 trace.end(_sp)
@@ -264,8 +334,7 @@ class MSSD:
     def trim(self, lba: int, n_blocks: int = 1) -> None:
         def _apply(k: int) -> None:
             if k:
-                for i in range(n_blocks):
-                    self.firmware.trim(lba + i)
+                self.firmware.trim_many(lba, n_blocks)
 
         self.faults.site("mssd.trim", _apply, n_blocks)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults.injector import NULL_INJECTOR
 from repro.ftl.ftl import FTL
@@ -105,7 +105,8 @@ class BaselineFirmware:
                 # (found by `repro lint` CS001): crash between the flash
                 # program and the cache drop must leave the page readable.
                 self.faults.point("basefw.evict")
-                self.ftl.write_page(
+                # Eviction interleaves a crash point per page drained.
+                self.ftl.write_page(  # repro: allow[PERF001]
                     lpa, bytes(page.data), StructKind.OTHER, background=True
                 )
                 self._dirty_count -= 1
@@ -130,7 +131,8 @@ class BaselineFirmware:
             # only changes *where* the bytes sit — still worth a site:
             # recovery must cope with half-drained watermark flushes.
             self.faults.point("basefw.writeback")
-            self.ftl.write_page(
+            # Watermark writeback interleaves a crash point per page.
+            self.ftl.write_page(  # repro: allow[PERF001]
                 lpa, bytes(page.data), StructKind.OTHER, background=True
             )
             page.dirty = False
@@ -253,23 +255,57 @@ class BaselineFirmware:
         _sp = trace.begin("firmware", "block_write", lpa=lpa) \
             if trace.ENABLED else None
         try:
-            self._fw(self.timing.dram_access_ns)
-            cached = self._touch(lpa)
-            if cached is not None:
-                if cached.dirty:
-                    self._dirty_count -= 1
-                cached.data = bytearray(data)
-                cached.dirty = False
-            self.ftl.write_page(lpa, data, kind, background=True)
+            self._block_write(lpa, data, kind)
         finally:
             if _sp is not None:
                 trace.end(_sp)
+
+    def block_write_many(
+        self, pages: List[Tuple[int, bytes]], kind: StructKind
+    ) -> None:
+        """Batched NVMe write (one firmware entry per request).
+
+        The per-page sequence (DRAM charge, cache update, write-buffer
+        admission) is preserved exactly — buffer stalls interleave with
+        the per-page charges (see the ByteFS firmware counterpart).
+        """
+        if len(pages) == 1:
+            lpa, data = pages[0]
+            self.block_write(lpa, data, kind)
+            return
+        _sp = trace.begin("firmware", "block_write", n_pages=len(pages)) \
+            if trace.ENABLED else None
+        try:
+            for lpa, data in pages:
+                self._block_write(lpa, data, kind)
+        finally:
+            if _sp is not None:
+                trace.end(_sp)
+
+    def _block_write(self, lpa: int, data: bytes, kind: StructKind) -> None:
+        self._fw(self.timing.dram_access_ns)
+        cached = self._touch(lpa)
+        if cached is not None:
+            if cached.dirty:
+                self._dirty_count -= 1
+            cached.data = bytearray(data)
+            cached.dirty = False
+        self.ftl.write_page(lpa, data, kind, background=True)
 
     def trim(self, lpa: int) -> None:
         page = self._cache.pop(lpa, None)
         if page is not None and page.dirty:
             self._dirty_count -= 1
         self.ftl.trim(lpa)
+
+    def trim_many(self, lpa: int, n_pages: int) -> None:
+        """Batched trim: one firmware entry, one FTL map crossing."""
+        cache_pop = self._cache.pop
+        for p in range(lpa, lpa + n_pages):
+            page = cache_pop(p, None)
+            if page is not None and page.dirty:
+                self._dirty_count -= 1
+        self.ftl.trim_many(lpa, n_pages)
 
     def commit(self, txid: int) -> None:
         raise NotImplementedError(
@@ -301,7 +337,9 @@ class BaselineFirmware:
         flushed = 0
         for lpa, page in list(self._cache.items()):
             if page.dirty:
-                self.ftl.write_page(
+                # Unmount flush drains the cache in insertion order; each
+                # page may target a different lpa, so nothing coalesces.
+                self.ftl.write_page(  # repro: allow[PERF001]
                     lpa, bytes(page.data), StructKind.OTHER, background=False
                 )
                 page.dirty = False
@@ -321,7 +359,8 @@ class BaselineFirmware:
                 # Unmount/sync flushes run with power on, so each dirty
                 # page drained is a numbered crash site (lint CS001).
                 self.faults.point("basefw.flush")
-                self.ftl.write_page(
+                # Sync flush interleaves a crash point per dirty page.
+                self.ftl.write_page(  # repro: allow[PERF001]
                     lpa, bytes(page.data), StructKind.OTHER, background=True
                 )
                 page.dirty = False

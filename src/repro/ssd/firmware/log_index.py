@@ -15,8 +15,7 @@ region, the length, and the transaction id (paper: offset 1 B, log offset
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.analysis import fssan
 from repro.sim.rng import make_rng
@@ -28,38 +27,59 @@ CHUNK_ENTRY_BYTES = 13
 SKIPLIST_NODE_BYTES = 32
 
 
-@dataclass
 class ChunkEntry:
-    """One logged write to a page: ``data[offset:offset+length]``."""
+    """One logged write to a page: ``data[offset:offset+length]``.
 
-    offset: int          # byte offset within the flash page
-    length: int
-    log_off: int         # offset of the payload inside the log region
-    txid: Optional[int]  # None = non-transactional (committed immediately)
-    seq: int             # global append sequence, orders overlapping chunks
-    data: bytes          # payload (the simulation keeps it with the entry)
+    A plain ``__slots__`` class: the firmware allocates one per logged
+    store, so instance dicts would dominate allocation churn.
+    """
 
-    @property
-    def end(self) -> int:
-        return self.offset + self.length
+    __slots__ = ("offset", "length", "log_off", "txid", "seq", "data", "end")
+
+    def __init__(
+        self,
+        offset: int,          # byte offset within the flash page
+        length: int,
+        log_off: int,         # offset of the payload inside the log region
+        txid: Optional[int],  # None = non-transactional
+        seq: int,             # global append sequence, orders overlaps
+        data: bytes,          # payload (kept with the entry)
+    ) -> None:
+        self.offset = offset
+        self.length = length
+        self.log_off = log_off
+        self.txid = txid
+        self.seq = seq
+        self.data = data
+        # offset/length never change after construction (log cleaning
+        # only relocates log_off), so the end bound is precomputed.
+        self.end = offset + length
 
 
-@dataclass
 class PageNode:
     """Layer-3 node: all logged chunks of one flash page."""
 
-    lpa: int
-    chunks: List[ChunkEntry] = field(default_factory=list)
+    __slots__ = ("lpa", "chunks")
+
+    def __init__(
+        self, lpa: int, chunks: Optional[List[ChunkEntry]] = None
+    ) -> None:
+        self.lpa = lpa
+        self.chunks: List[ChunkEntry] = chunks if chunks is not None else []
 
     def add(self, entry: ChunkEntry) -> None:
         """Insert keeping the list ordered by (offset, seq)."""
-        i = len(self.chunks)
-        while i > 0 and (self.chunks[i - 1].offset, self.chunks[i - 1].seq) > (
-            entry.offset,
-            entry.seq,
-        ):
-            i -= 1
-        self.chunks.insert(i, entry)
+        chunks = self.chunks
+        key = (entry.offset, entry.seq)
+        lo, hi = 0, len(chunks)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            c = chunks[mid]
+            if (c.offset, c.seq) > key:
+                hi = mid
+            else:
+                lo = mid + 1
+        chunks.insert(lo, entry)
 
     def bytes_logged(self) -> int:
         return sum(c.length for c in self.chunks)

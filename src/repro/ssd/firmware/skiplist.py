@@ -55,8 +55,10 @@ class SkipList:
     def _find(self, key: int) -> Optional[_Node]:
         node = self._head
         for lvl in range(self._level - 1, -1, -1):
-            while node.forward[lvl] is not None and node.forward[lvl].key < key:
-                node = node.forward[lvl]
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
         candidate = node.forward[0]
         if candidate is not None and candidate.key == key:
             return candidate
@@ -71,8 +73,10 @@ class SkipList:
         update: List[_Node] = [self._head] * _MAX_LEVEL
         node = self._head
         for lvl in range(self._level - 1, -1, -1):
-            while node.forward[lvl] is not None and node.forward[lvl].key < key:
-                node = node.forward[lvl]
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
             update[lvl] = node
         candidate = node.forward[0]
         if candidate is not None and candidate.key == key:
@@ -94,8 +98,10 @@ class SkipList:
         update: List[_Node] = [self._head] * _MAX_LEVEL
         node = self._head
         for lvl in range(self._level - 1, -1, -1):
-            while node.forward[lvl] is not None and node.forward[lvl].key < key:
-                node = node.forward[lvl]
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
             update[lvl] = node
         target = node.forward[0]
         if target is None or target.key != key:

@@ -19,6 +19,10 @@ class StructKind(enum.Enum):
     JOURNAL = "journal"
     OTHER = "other"
 
+    # Members are singletons, so identity hashing is equality-consistent
+    # and skips Enum.__hash__'s name lookup on every stats-dict update.
+    __hash__ = object.__hash__
+
     @property
     def is_metadata(self) -> bool:
         return self not in (StructKind.DATA,)
@@ -31,10 +35,14 @@ class Direction(enum.Enum):
     READ = "read"
     WRITE = "write"
 
+    __hash__ = object.__hash__
+
 
 class Interface(enum.Enum):
     BYTE = "byte"    # PCIe MMIO / CXL.mem loads and stores
     BLOCK = "block"  # NVMe block commands
+
+    __hash__ = object.__hash__
 
 
 class TrafficStats:

@@ -31,6 +31,14 @@ def pytest_addoption(parser):
         help="cap the number of crash sites replayed per sweep test "
         "(default: the per-test tier-1 bound; extended sweeps replay all)",
     )
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden RunResult fixtures "
+        "(tests/golden/run_results.json) instead of asserting against "
+        "them; only for deliberate performance-model changes",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,104 @@
+"""Golden differential: ``RunResult.to_json()`` pinned byte-for-byte.
+
+The simulator hot path is performance-optimized under one non-negotiable
+constraint: only *wall-clock* time may change — never simulated time,
+traffic, or latency.  These tests enforce it by replaying every
+(fs, figure-workload) pair at a fixed seed and comparing the canonical
+JSON serialization of the run against a committed fixture, byte for
+byte.  Any drift means an "optimization" changed the performance model.
+
+The fixture is regenerated only via an explicit flag::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_differential.py \
+        --update-golden
+
+which is reserved for deliberate performance-model changes (new timing
+parameters, new traffic accounting) — recalibrate on purpose, never to
+make a red optimization pass.  Regeneration computes every pair twice
+(once to write, once through the normal assertions), so an update run
+doubles as a same-seed determinism sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.workloads import (
+    Fileserver,
+    MicroCreate,
+    MicroDelete,
+    MicroMkdir,
+    MicroRmdir,
+    OLTP,
+    Varmail,
+    Webproxy,
+    Webserver,
+)
+from tests.conftest import ALL_FS, SMALL_GEOMETRY
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "run_results.json"
+
+#: Every figure workload at smoke scale (fresh instance per run:
+#: setup mutates workload state).  Scales mirror tests/benchmarks.
+FIGURE_WORKLOADS = {
+    "create": lambda: MicroCreate(n_files=96),
+    "delete": lambda: MicroDelete(n_files=72),
+    "mkdir": lambda: MicroMkdir(n_dirs=96),
+    "rmdir": lambda: MicroRmdir(n_dirs=72),
+    "varmail": lambda: Varmail(ops_per_thread=8),
+    "fileserver": lambda: Fileserver(ops_per_thread=6),
+    "webproxy": lambda: Webproxy(ops_per_thread=6),
+    "webserver": lambda: Webserver(ops_per_thread=6),
+    "oltp": lambda: OLTP(ops_per_thread=8),
+}
+
+PAIRS = [(fs, wl) for fs in ALL_FS for wl in sorted(FIGURE_WORKLOADS)]
+
+
+def _canonical(fs: str, wl_name: str) -> str:
+    """The byte-exact representation a run is pinned to."""
+    result = run_workload(
+        fs, FIGURE_WORKLOADS[wl_name](), geometry=SMALL_GEOMETRY
+    )
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def golden(request):
+    if request.config.getoption("--update-golden"):
+        data = {f"{fs}/{wl}": _canonical(fs, wl) for fs, wl in PAIRS}
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(data, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; generate it with --update-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "fs,wl", PAIRS, ids=[f"{fs}-{wl}" for fs, wl in PAIRS]
+)
+def test_run_result_byte_identical(golden, fs, wl):
+    key = f"{fs}/{wl}"
+    assert key in golden, (
+        f"no golden entry for {key}; regenerate with --update-golden"
+    )
+    assert _canonical(fs, wl) == golden[key], (
+        f"{key}: RunResult.to_json() drifted from the golden fixture — "
+        "a hot-path change altered simulated time/traffic/latency; "
+        "only wall-clock time may change (see docs/PERFORMANCE.md)"
+    )
+
+
+@pytest.mark.parametrize("fs", ALL_FS)
+def test_same_seed_double_run_identical(fs):
+    """Two fresh same-seed runs serialize identically for every fs."""
+    assert _canonical(fs, "varmail") == _canonical(fs, "varmail")

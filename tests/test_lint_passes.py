@@ -201,6 +201,41 @@ def test_lay001_ignores_device_side_modules(tmp_path):
 
 
 # ---------------------------------------------------------------------- #
+# PERF001 — per-page device ops inside loops
+# ---------------------------------------------------------------------- #
+
+def test_perf001_flags_per_page_loop(tmp_path):
+    res = _lint(tmp_path, "repro/fs/t.py", """\
+        def flush(dev, blocks):
+            for b in blocks:
+                dev.trim(b)
+        def drain(dev, pages):
+            return [dev.write_page(p) for p in pages]
+    """)
+    assert _rule_ids(res) == ["PERF001", "PERF001"]
+
+
+def test_perf001_allows_ranged_trim_and_straightline_calls(tmp_path):
+    res = _lint(tmp_path, "repro/fs/t.py", """\
+        def flush(dev, runs):
+            for start, n in runs:
+                dev.trim(start, n)
+            dev.trim(0)
+            dev.block_write(0, b"")
+    """)
+    assert _rule_ids(res) == []
+
+
+def test_perf001_suppression(tmp_path):
+    res = _lint(tmp_path, "repro/fs/t.py", """\
+        def migrate(dev, pages):
+            for lpa, data in pages:
+                dev.write_page(lpa, data)  # repro: allow[PERF001]
+    """)
+    assert _rule_ids(res) == []
+
+
+# ---------------------------------------------------------------------- #
 # CS001 — crash-site registration
 # ---------------------------------------------------------------------- #
 
@@ -340,7 +375,9 @@ def test_cs001_exempt_function_does_not_poison_callees(tmp_path):
 
 def test_every_rule_id_has_a_firing_fixture():
     """RULES and the fixtures above must stay in sync."""
-    assert set(RULES) == {"CS001", "DET001", "DET002", "DET003", "LAY001"}
+    assert set(RULES) == {
+        "CS001", "DET001", "DET002", "DET003", "LAY001", "PERF001",
+    }
 
 
 def test_syntax_error_reported_not_crashed(tmp_path):
