@@ -38,8 +38,11 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.findings import Finding
 from repro.analysis.suppress import is_suppressed
 
-#: Module prefixes that constitute the simulated device stack.
-STACK_PREFIXES = ("repro.ssd", "repro.ftl", "repro.nand")
+#: Module prefixes that constitute the simulated device stack.  The
+#: serving layer (repro.cluster) sits at the host->device boundary but
+#: drives the same device mutations, so it is swept for unregistered
+#: mutation paths too.
+STACK_PREFIXES = ("repro.ssd", "repro.ftl", "repro.nand", "repro.cluster")
 
 #: Bare names of device-visible mutation primitives.
 MUTATION_PRIMITIVES = {

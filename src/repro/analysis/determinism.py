@@ -35,7 +35,7 @@ DET002_EXEMPT = ("repro.sim.rng",)
 #: with virtual time).  They are audited once, here, to take time only
 #: from the VirtualClock — so DET001 exempts the package by prefix and
 #: instrumentation never needs per-site suppressions.
-DET001_CONSUMERS = ("repro.trace", "repro.bench.perf")
+DET001_CONSUMERS = ("repro.trace", "repro.bench.perf", "repro.cluster")
 
 WALL_CLOCK = {
     "time.time",

@@ -24,6 +24,9 @@ Invariant classes (each check belongs to exactly one):
   committed transaction that still has live log entries.
 * ``FSSAN-CLOCK`` — virtual-clock and resource timelines only move
   forward: no negative or NaN durations, busy-until never rewinds.
+* ``FSSAN-QUEUE`` — per-tenant serving-queue accounting balances:
+  every submitted request is served, still pending, rejected by
+  admission control, or dropped — nothing is double-counted or lost.
 
 A violated invariant raises :class:`SanitizerError` (an
 ``AssertionError`` subclass) carrying the invariant class id.  Passing
@@ -43,8 +46,9 @@ SKIP = "FSSAN-SKIP"
 FTL = "FSSAN-FTL"
 TX = "FSSAN-TX"
 CLOCK = "FSSAN-CLOCK"
+QUEUE = "FSSAN-QUEUE"
 
-ALL_CLASSES = (LOG, SKIP, FTL, TX, CLOCK)
+ALL_CLASSES = (LOG, SKIP, FTL, TX, CLOCK, QUEUE)
 
 #: Master switch read by every instrumented call site.
 ENABLED = os.environ.get("REPRO_SANITIZE", "").lower() in ("1", "true", "yes", "on")
@@ -304,6 +308,41 @@ def check_clock_elapsed(max_seen: float, times_max: float) -> None:
             f"thread timeline {times_max}",
         )
     _ok(CLOCK)
+
+
+# ---------------------------------------------------------------------- #
+# FSSAN-QUEUE — serving-layer queue accounting (repro.cluster)
+# ---------------------------------------------------------------------- #
+
+def check_queue_accounting(
+    tenant: str,
+    submitted: int,
+    served: int,
+    pending: int,
+    rejected: int,
+    dropped: int = 0,
+) -> None:
+    """A tenant's request ledger balances: nothing lost, nothing forged.
+
+    ``submitted`` counts arrivals that reached admission; each must be in
+    exactly one of the served / pending / rejected / dropped buckets.
+    """
+    counts = (submitted, served, pending, rejected, dropped)
+    if any(c < 0 for c in counts):
+        _trip(
+            QUEUE,
+            f"tenant {tenant!r} has a negative queue counter: "
+            f"submitted={submitted} served={served} pending={pending} "
+            f"rejected={rejected} dropped={dropped}",
+        )
+    if submitted != served + pending + rejected + dropped:
+        _trip(
+            QUEUE,
+            f"tenant {tenant!r} queue ledger out of balance: "
+            f"submitted={submitted} != served={served} + pending={pending} "
+            f"+ rejected={rejected} + dropped={dropped}",
+        )
+    _ok(QUEUE)
 
 
 def check_clock_advance(old_now: float, new_now: float, max_seen: float) -> None:

@@ -27,6 +27,7 @@ HOST_PREFIXES = (
     "repro.bench",
     "repro.core",
     "repro.cli",
+    "repro.cluster",
     "repro.__main__",
 )
 

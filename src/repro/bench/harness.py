@@ -77,6 +77,12 @@ class RunResult:
     traffic: Dict[str, Dict] = field(default_factory=dict)
     #: the tracer used for the measured loop, when tracing was on
     trace: Optional[Tracer] = None
+    #: resolved RNG seed of the workload (set only when the caller asks
+    #: for a config echo; absent from JSON otherwise so byte-pinned
+    #: golden fixtures are unaffected)
+    seed: Optional[int] = None
+    #: caller-supplied run-configuration echo (harness knobs, CLI args)
+    config: Optional[Dict] = None
 
     @property
     def throughput(self) -> float:
@@ -107,7 +113,7 @@ class RunResult:
         def _num(x: float) -> Optional[float]:
             return None if isinstance(x, float) and not math.isfinite(x) else x
 
-        return {
+        doc = {
             "fs": self.fs_name,
             "workload": self.workload,
             "ops": self.ops,
@@ -143,6 +149,13 @@ class RunResult:
             },
             "traffic": self.traffic,
         }
+        # Reproducibility echo: emitted only when the caller opted in, so
+        # documents produced without it stay byte-identical (goldens).
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        if self.config is not None:
+            doc["config"] = self.config
+        return doc
 
 
 def run_workload(
@@ -156,6 +169,7 @@ def run_workload(
     unmount: bool = False,
     traced: bool = False,
     stack_probe: Optional[Callable] = None,
+    config_echo: Optional[Dict] = None,
 ) -> RunResult:
     """Build a fresh stack, run the workload, and collect metrics.
 
@@ -174,6 +188,12 @@ def run_workload(
     the stats reset) and ``"measure-end"`` right after the measured loop
     drains, bracketing exactly the measured region.  The probe must not
     mutate the stack.
+
+    ``config_echo`` opts the result into the reproducibility echo: the
+    dict is attached verbatim as ``RunResult.config`` and the workload's
+    resolved RNG seed as ``RunResult.seed``, and both then appear in
+    ``to_json()``.  Off by default so existing documents (and the golden
+    differential fixtures) are byte-identical.
     """
     clock, stats, device, fs = build_stack(
         fs_name,
@@ -240,6 +260,8 @@ def run_workload(
         read_breakdown=stats.breakdown(Direction.READ),
         traffic=stats.to_json(),
         trace=tracer,
+        seed=workload.seed if config_echo is not None else None,
+        config=config_echo,
     )
 
 

@@ -55,6 +55,13 @@ def _cmd_run(args) -> int:
         args.fs, wl,
         log_bytes=args.log_bytes,
         device_cache_bytes=args.device_cache_bytes,
+        # Reproducibility echo: the JSON document carries the resolved
+        # seed and the harness knobs that produced it.
+        config_echo={
+            "workload": args.workload,
+            "log_bytes": args.log_bytes,
+            "device_cache_bytes": args.device_cache_bytes,
+        },
     )
     if args.format == "json":
         print(json.dumps(result.to_json(), sort_keys=True, indent=2))
@@ -78,6 +85,66 @@ def _cmd_run(args) -> int:
             f"avg={result.latency.mean(op) / 1000:8.1f}us "
             f"p95={result.latency.percentile(op, 95) / 1000:8.1f}us"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.cluster import (
+        ALL_OPS,
+        default_tenants,
+        serve_cluster,
+        validate_cluster_run,
+    )
+
+    tenants = default_tenants(args.tenants, n_ops=args.ops)
+    result = serve_cluster(
+        tenants,
+        fs_name=args.fs,
+        n_devices=args.devices,
+        sched=args.sched,
+        seed=args.seed,
+        queue_depth=args.queue_depth,
+        max_queue=args.max_queue,
+        quantum_ns=args.quantum_ns,
+    )
+    doc = result.to_json()
+    problems = validate_cluster_run(doc)
+    if problems:  # pragma: no cover - harness bug guard
+        for p in problems:
+            print(f"schema error: {p}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(doc, sort_keys=True, indent=2))
+        return 0
+    rows = []
+    for t in doc["tenants"]:
+        lat = t["latency"].get(ALL_OPS) or {}
+        rows.append((
+            t["spec"]["name"],
+            t["device"],
+            t["ops"],
+            t["rejected"],
+            t["slo_violations"],
+            (lat.get("p50") or 0.0) / 1000,
+            (lat.get("p99") or 0.0) / 1000,
+        ))
+    print(format_table(
+        f"{args.tenants} tenants on {args.devices}x {args.fs} "
+        f"({args.sched})",
+        ["tenant", "dev", "ops", "rej", "slo!", "p50 us", "p99 us"],
+        rows,
+        col_width=16,
+    ))
+    print(
+        f"  total: {doc['ops']} ops in {doc['elapsed_s'] * 1000:.2f} ms "
+        f"simulated, {doc['slo_violations']} SLO violations, "
+        f"{doc['rejected']} rejected"
+    )
     return 0
 
 
@@ -242,6 +309,51 @@ def main(argv: Optional[list] = None) -> int:
         help="json: machine-readable run report (RunResult.to_json)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="multi-tenant serving run with QoS scheduling (repro.cluster)",
+    )
+    serve_p.add_argument(
+        "--tenants", type=int, default=4,
+        help="number of tenants (profiles cycle mixed/light/heavy/light)",
+    )
+    serve_p.add_argument(
+        "--sched", default="drr", choices=("fifo", "drr", "token-bucket"),
+        help="I/O scheduling policy arbitrating tenants per device",
+    )
+    serve_p.add_argument(
+        "--devices", type=int, default=1,
+        help="number of sharded M-SSD devices",
+    )
+    serve_p.add_argument(
+        "--fs", default="bytefs", choices=sorted(FIRMWARE_FOR),
+    )
+    serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument(
+        "--ops", type=int, default=200,
+        help="requests submitted per tenant during the measured phase",
+    )
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=4,
+        help="device submission-queue slots (concurrent in-flight ops)",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=64,
+        help="per-tenant backlog cap; arrivals beyond it are rejected",
+    )
+    serve_p.add_argument(
+        "--quantum-ns", type=float, default=None,
+        help="DRR service quantum per weight unit (default 500us)",
+    )
+    serve_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json: the repro.cluster.run/v1 document",
+    )
+    serve_p.add_argument(
+        "--out", default=None,
+        help="also write the JSON document to this path",
+    )
+
     tr_p = sub.add_parser(
         "trace",
         help="run one workload with span tracing and export the trace",
@@ -352,6 +464,7 @@ def main(argv: Optional[list] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "serve": _cmd_serve,
         "compare": _cmd_compare,
         "crashsweep": _cmd_crashsweep,
         "lint": _cmd_lint,

@@ -1,0 +1,235 @@
+"""The versioned result document of a cluster serving run.
+
+``repro serve --format=json`` emits the ``repro.cluster.run/v1`` schema:
+per-tenant latency distributions (p50/p95/p99 of queueing + service),
+SLO-violation and admission-rejection counts, per-tenant attributed
+traffic, per-device aggregates, and a full config echo (seed, scheduler,
+tenant specs) so any result file is reproducible from itself.
+
+:func:`validate_cluster_run` is the CI schema gate, in the same style as
+``repro.bench.perf.validate_simspeed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.stats.traffic import LatencyRecorder
+
+SCHEMA = "repro.cluster.run/v1"
+
+#: LatencyRecorder key that aggregates every op of a tenant.
+ALL_OPS = "all"
+
+
+def _num(x):
+    """NaN/inf are not JSON; map them to null like RunResult.to_json."""
+    return None if isinstance(x, float) and not math.isfinite(x) else x
+
+
+def _latency_json(latency: LatencyRecorder) -> Dict[str, Dict]:
+    return {
+        op: {k: _num(v) for k, v in latency.summary(op).items()}
+        for op in latency.ops()
+    }
+
+
+@dataclass
+class TenantResult:
+    """Everything the run reports about one tenant."""
+
+    spec: Dict                       # TenantSpec.to_json() echo
+    device: int
+    ops: int                         # requests served to completion
+    submitted: int                   # arrivals processed (served+rejected+dropped)
+    rejected: int                    # admission-control rejections
+    dropped: int                     # arrivals abandoned (workload exhausted)
+    slo_violations: int
+    latency: LatencyRecorder
+    #: host<->SSD / flash / app bytes attributed to this tenant's dispatches
+    traffic: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec["name"]
+
+    def to_json(self, elapsed_s: float) -> Dict:
+        throughput = self.ops / elapsed_s if elapsed_s > 0 else float("inf")
+        app_w = self.traffic.get("app_write", 0)
+        host_w = self.traffic.get("host_write", 0)
+        wamp = host_w / app_w if app_w else float("nan")
+        return {
+            "spec": self.spec,
+            "device": self.device,
+            "ops": self.ops,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "dropped": self.dropped,
+            "slo_violations": self.slo_violations,
+            "throughput_ops_s": _num(throughput),
+            "write_amplification": _num(wamp),
+            "latency": _latency_json(self.latency),
+            "traffic": dict(sorted(self.traffic.items())),
+        }
+
+
+@dataclass
+class ClusterRunResult:
+    """The ``repro.cluster.run/v1`` document (plus live objects)."""
+
+    fs_name: str
+    scheduler: Dict                  # Scheduler.config_json()
+    n_devices: int
+    queue_depth: int
+    max_queue: int
+    seed: int
+    elapsed_s: float
+    tenants: List[TenantResult]
+    devices: List[Dict]              # ShardedBackend.device_summary()
+    latency: LatencyRecorder         # cluster-wide, keyed like per-tenant
+    #: the tracer used for the measured phase, when tracing was on
+    trace: Optional[object] = None
+    #: optional per-dispatch log: (device, tenant, op, arrival, begin, end)
+    dispatch_log: Optional[List] = None
+
+    @property
+    def ops(self) -> int:
+        return sum(t.ops for t in self.tenants)
+
+    @property
+    def throughput(self) -> float:
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_s
+
+    def tenant(self, name: str) -> TenantResult:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "fs": self.fs_name,
+            "scheduler": self.scheduler,
+            "n_devices": self.n_devices,
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
+            "seed": self.seed,
+            "elapsed_s": self.elapsed_s,
+            "ops": self.ops,
+            "throughput_ops_s": _num(self.throughput),
+            "slo_violations": sum(t.slo_violations for t in self.tenants),
+            "rejected": sum(t.rejected for t in self.tenants),
+            "latency": _latency_json(self.latency),
+            "tenants": [t.to_json(self.elapsed_s) for t in self.tenants],
+            "devices": self.devices,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# schema validation (CI gate)
+# ---------------------------------------------------------------------- #
+
+_TOP_FIELDS = {
+    "fs": str,
+    "scheduler": dict,
+    "n_devices": int,
+    "queue_depth": int,
+    "max_queue": int,
+    "seed": int,
+    "elapsed_s": (int, float),
+    "ops": int,
+    "slo_violations": int,
+    "rejected": int,
+    "latency": dict,
+    "tenants": list,
+    "devices": list,
+}
+
+_TENANT_FIELDS = {
+    "spec": dict,
+    "device": int,
+    "ops": int,
+    "submitted": int,
+    "rejected": int,
+    "dropped": int,
+    "slo_violations": int,
+    "latency": dict,
+    "traffic": dict,
+}
+
+_LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99")
+
+
+def _check_latency(lat: Dict, where: str, problems: List[str]) -> None:
+    for op, summary in lat.items():
+        if not isinstance(summary, dict):
+            problems.append(f"{where}.latency[{op!r}] is not an object")
+            continue
+        for key in _LATENCY_KEYS:
+            v = summary.get(key)
+            if v is not None and (
+                not isinstance(v, (int, float)) or isinstance(v, bool)
+            ):
+                problems.append(
+                    f"{where}.latency[{op!r}].{key} must be a number or null"
+                )
+
+
+def validate_cluster_run(doc: Dict) -> List[str]:
+    """Return a list of schema problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for key, typ in _TOP_FIELDS.items():
+        if key not in doc:
+            problems.append(f"missing {key!r}")
+        elif not isinstance(doc[key], typ) or isinstance(doc[key], bool):
+            problems.append(f"{key} has wrong type")
+    if isinstance(doc.get("latency"), dict):
+        _check_latency(doc["latency"], "$", problems)
+    tenants = doc.get("tenants")
+    if isinstance(tenants, list):
+        if not tenants:
+            problems.append("tenants must be non-empty")
+        for i, t in enumerate(tenants):
+            if not isinstance(t, dict):
+                problems.append(f"tenants[{i}] is not an object")
+                continue
+            for key, typ in _TENANT_FIELDS.items():
+                if key not in t:
+                    problems.append(f"tenants[{i}] missing {key!r}")
+                elif not isinstance(t[key], typ) or isinstance(t[key], bool):
+                    problems.append(f"tenants[{i}].{key} has wrong type")
+            if isinstance(t.get("latency"), dict):
+                _check_latency(t["latency"], f"tenants[{i}]", problems)
+            if isinstance(t.get("spec"), dict) and "name" not in t["spec"]:
+                problems.append(f"tenants[{i}].spec missing 'name'")
+            served = t.get("ops")
+            if all(
+                isinstance(t.get(k), int)
+                for k in ("ops", "submitted", "rejected", "dropped")
+            ) and t["submitted"] != served + t["rejected"] + t["dropped"]:
+                problems.append(
+                    f"tenants[{i}]: submitted != ops + rejected + dropped"
+                )
+    devices = doc.get("devices")
+    if isinstance(devices, list):
+        n = doc.get("n_devices")
+        if isinstance(n, int) and len(devices) != n:
+            problems.append("devices list length disagrees with n_devices")
+        for i, d in enumerate(devices):
+            if not isinstance(d, dict) or d.get("device") != i:
+                problems.append(f"devices[{i}] malformed or out of order")
+    sched = doc.get("scheduler")
+    if isinstance(sched, dict) and not isinstance(sched.get("policy"), str):
+        problems.append("scheduler.policy must be a string")
+    return problems

@@ -1,0 +1,403 @@
+"""The multi-tenant serving harness.
+
+:func:`serve_cluster` runs N tenants against a :class:`ShardedBackend`
+under a pluggable I/O scheduler and returns a
+:class:`~repro.cluster.result.ClusterRunResult`.
+
+Unlike the single-tenant bench harness (closed loop: each thread issues
+its next op the instant the previous one returns), tenants here are
+**open loop**: each tenant's requests arrive by a seeded Poisson process
+at ``spec.rate_ops_s`` on the virtual timeline, independent of service
+progress.  Arrivals queue per tenant; backlog is what gives the
+scheduler real choices, and per-op latency = queueing delay + service
+time, measured from *arrival* to completion — so a noisy neighbour's
+backlog shows up in its victims' tail latencies, which is the effect the
+DRR and token-bucket policies exist to bound.
+
+Dispatch semantics (per device, deterministic):
+
+1. The next *decision instant* ``t_dec`` is the earliest virtual time at
+   which some tenant has a dispatchable request (arrived, client thread
+   free) **and** the admission queue has a free slot.
+2. Arrivals up to ``t_dec`` are pumped into per-tenant queues;
+   admission control rejects arrivals beyond ``max_queue``.
+3. The scheduler picks among eligible backlogged tenants; the grant
+   starts at ``t_dec`` (work-conserving policies) or at the tenant's
+   token-release time (token bucket), and the op runs on the tenant's
+   own clock thread so device-level contention is shared with any
+   overlapping ops admitted through other queue slots.
+
+Everything is a pure function of (seed, config): two identical
+``serve_cluster`` calls produce byte-identical result JSON.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import fssan
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import TimingModel
+from repro.sim.clock import MSEC, SEC, VirtualClock
+from repro.sim.rng import make_rng
+from repro.stats.traffic import Direction, LatencyRecorder, TrafficStats
+from repro.trace import tracer as trace
+from repro.trace.tracer import Tracer
+
+from repro.cluster.result import ALL_OPS, ClusterRunResult, TenantResult
+from repro.cluster.sched import AdmissionQueue, Scheduler, make_scheduler
+from repro.cluster.shard import ShardedBackend
+from repro.cluster.tenant import TenantSpec, make_tenant_workload
+
+_INF = float("inf")
+
+
+@dataclass
+class _TenantRT:
+    """Mutable per-tenant serving state."""
+
+    index: int                       # global index == clock thread id
+    spec: TenantSpec
+    gen: object                      # the workload's op generator
+    arrivals: List[float]            # absolute arrival times (ns)
+    next_i: int = 0                  # first arrival not yet pumped
+    queue: deque = field(default_factory=deque)
+    deficit: float = 0.0             # DRR bookkeeping
+    served: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    slo_violations: int = 0
+    done: bool = False               # workload generator exhausted
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    traffic: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tid(self) -> int:
+        return self.index
+
+    def submitted(self) -> int:
+        return self.next_i
+
+    def pump(self, t: float, max_queue: int) -> None:
+        """Move arrivals up to ``t`` into the queue (admission control)."""
+        arrivals = self.arrivals
+        i = self.next_i
+        n = len(arrivals)
+        while i < n and arrivals[i] <= t:
+            if len(self.queue) >= max_queue:
+                self.rejected += 1
+            else:
+                self.queue.append(arrivals[i])
+            i += 1
+        self.next_i = i
+
+    def finish(self) -> None:
+        """Workload exhausted: abandon backlog and future arrivals."""
+        self.done = True
+        self.dropped += len(self.queue)
+        self.queue.clear()
+        del self.arrivals[self.next_i:]
+
+
+_TRAFFIC_KEYS = (
+    "host_write", "host_read", "flash_write", "flash_read",
+    "app_write", "app_read",
+)
+
+
+def _traffic_totals(stats: TrafficStats) -> Tuple[float, ...]:
+    hw = hr = 0
+    for (_k, d, _i), n in stats.host_ssd.items():
+        if d is Direction.WRITE:
+            hw += n
+        else:
+            hr += n
+    fw = fr = 0
+    for (_k, d), n in stats.flash.items():
+        if d is Direction.WRITE:
+            fw += n
+        else:
+            fr += n
+    return (
+        hw, hr, fw, fr,
+        stats.app.get(Direction.WRITE, 0),
+        stats.app.get(Direction.READ, 0),
+    )
+
+
+def _attribute(tn: _TenantRT, before: Tuple, after: Tuple) -> None:
+    for key, b, a in zip(_TRAFFIC_KEYS, before, after):
+        tn.traffic[key] = tn.traffic.get(key, 0) + (a - b)
+
+
+def _sanity(tn: _TenantRT) -> None:
+    fssan.check_queue_accounting(
+        tn.spec.name, tn.submitted(), tn.served, len(tn.queue),
+        tn.rejected, tn.dropped,
+    )
+
+
+def _serve_device(
+    clock: VirtualClock,
+    device: int,
+    tenants: List[_TenantRT],
+    sched: Scheduler,
+    queue: AdmissionQueue,
+    stats: TrafficStats,
+    max_queue: int,
+    cluster_latency: LatencyRecorder,
+    dispatch_log: Optional[List],
+    tracer: Optional[Tracer],
+) -> None:
+    """Drain one device's tenants to completion (see module docstring)."""
+    time_of = clock.time_of
+    while True:
+        # 1. Find the earliest dispatchable request across tenants.  A
+        # tenant's next request is dispatchable once it has arrived AND
+        # the tenant's (single-threaded) client is free again.
+        t_req = _INF
+        for tn in tenants:
+            if tn.done:
+                continue
+            if tn.queue:
+                r = tn.queue[0]
+            elif tn.next_i < len(tn.arrivals):
+                r = tn.arrivals[tn.next_i]
+            else:
+                continue
+            avail = time_of(tn.tid)
+            if avail > r:
+                r = avail
+            if r < t_req:
+                t_req = r
+        if t_req == _INF:
+            break
+        t_free = queue.earliest_free()
+        t_dec = t_req if t_req > t_free else t_free
+        # 2. Pump arrivals (admission control) up to the decision instant.
+        for tn in tenants:
+            if not tn.done:
+                tn.pump(t_dec, max_queue)
+        eligible = [tn for tn in tenants if tn.queue and tn.queue[0] <= t_dec]
+        if not eligible:
+            # The min-r tenant's arrival was rejected at the full queue;
+            # recompute from the new state.
+            continue
+        # 3. Policy decision.  A tenant with an op still in flight stays
+        # schedulable — its queued requests live in the device queue, not
+        # the client — but its grant can only *start* once the in-flight
+        # op completes (per-tenant request ordering).  Under FIFO this is
+        # exactly head-of-line blocking: later arrivals from everyone
+        # else wait behind a backlogged tenant's older requests.
+        tn = sched.pick(eligible, t_dec)
+        start = t_dec
+        avail = time_of(tn.tid)
+        if avail > start:
+            start = avail
+        rel = sched.release(tn, t_dec)
+        if rel > start:
+            # Non-work-conserving hold: if any arrival lands before the
+            # hold ends, it may belong to an unthrottled tenant — pump to
+            # it and re-decide.
+            nxt = min(
+                (t.arrivals[t.next_i] for t in tenants
+                 if not t.done and t.next_i < len(t.arrivals)),
+                default=_INF,
+            )
+            if nxt < rel:
+                for t in tenants:
+                    if not t.done:
+                        t.pump(nxt, max_queue)
+                continue
+            start = rel
+        arrival = tn.queue.popleft()
+        slot, grant = queue.admit(start)
+        clock.switch(tn.tid)
+        clock.advance_to(grant)
+        root = (
+            trace.begin("cluster", "op", tenant=tn.spec.name, device=device)
+            if tracer is not None else None
+        )
+        if root is not None and grant > arrival:
+            trace.note_wait(queue.group, grant - arrival, 0.0)
+        before = _traffic_totals(stats)
+        try:
+            op_name = next(tn.gen)
+        except StopIteration:
+            if root is not None:
+                root.op = "drain"
+                trace.end(root)
+            tn.dropped += 1
+            tn.finish()
+            if fssan.ENABLED:
+                _sanity(tn)
+            continue
+        end = clock.now
+        if root is not None:
+            root.op = op_name
+            trace.end(root)
+        queue.complete(slot, grant, end)
+        sched.on_dispatch(tn, grant)
+        sched.charge(tn, end - grant)
+        _attribute(tn, before, _traffic_totals(stats))
+        lat = end - arrival
+        tn.served += 1
+        tn.latency.record(op_name, lat)
+        tn.latency.record(ALL_OPS, lat)
+        cluster_latency.record(op_name, lat)
+        cluster_latency.record(ALL_OPS, lat)
+        if lat > tn.spec.slo_ms * MSEC:
+            tn.slo_violations += 1
+        if dispatch_log is not None:
+            dispatch_log.append({
+                "device": device,
+                "tenant": tn.spec.name,
+                "op": op_name,
+                "arrival": arrival,
+                "begin": grant,
+                "end": end,
+            })
+        if fssan.ENABLED:
+            _sanity(tn)
+
+
+def serve_cluster(
+    tenants: List[TenantSpec],
+    fs_name: str = "bytefs",
+    n_devices: int = 1,
+    sched: str = "drr",
+    seed: int = 42,
+    queue_depth: int = 4,
+    max_queue: int = 64,
+    quantum_ns: Optional[float] = None,
+    geometry: Optional[FlashGeometry] = None,
+    timing: Optional[TimingModel] = None,
+    log_bytes: int = 1 << 20,
+    device_cache_bytes: int = 1 << 20,
+    page_cache_pages: int = 512,
+    traced: bool = False,
+    keep_dispatch_log: bool = False,
+    unmount: bool = False,
+) -> ClusterRunResult:
+    """Run ``tenants`` against a sharded backend under scheduler ``sched``.
+
+    Setup (namespace creation, file-set preparation) happens before the
+    measurement epoch, exactly like the single-tenant harness: traffic
+    stats reset and arrival processes start after all tenants are set up
+    and every timeline is synchronized.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError("tenant names must be unique")
+    clock = VirtualClock(len(tenants))
+    backend = ShardedBackend(
+        fs_name,
+        n_devices,
+        clock,
+        geometry=geometry,
+        timing=timing,
+        log_bytes=log_bytes,
+        device_cache_bytes=device_cache_bytes,
+        page_cache_pages=page_cache_pages,
+        queue_depth=queue_depth,
+    )
+    # -------------------- setup phase (un-measured) -------------------- #
+    runtime: List[_TenantRT] = []
+    placement: List[int] = []
+    for i, spec in enumerate(tenants):
+        dev = backend.place(spec)
+        placement.append(dev)
+        clock.switch(i)
+        ns = backend.mount_namespace(spec, dev)
+        workload = make_tenant_workload(spec, seed)
+        workload.setup(ns)
+        gen = workload.make_threads(ns)[0]
+        runtime.append(_TenantRT(index=i, spec=spec, gen=gen, arrivals=[]))
+    # Measurement epoch: sync every timeline, zero every shard's stats.
+    t0 = clock.sync_all()
+    backend.reset_epoch()
+    # Open-loop Poisson arrivals, one independent stream per tenant.
+    for tn in runtime:
+        rng = make_rng(seed, f"arrivals:{tn.spec.name}")
+        t = t0
+        rate = tn.spec.rate_ops_s
+        if rate <= 0:
+            raise ValueError(
+                f"tenant {tn.spec.name!r} needs a positive rate_ops_s"
+            )
+        for _ in range(tn.spec.n_ops):
+            t += rng.expovariate(rate) * SEC
+            tn.arrivals.append(t)
+    # ------------------------- measured phase -------------------------- #
+    by_device: List[List[_TenantRT]] = [[] for _ in range(n_devices)]
+    for tn, dev in zip(runtime, placement):
+        by_device[dev].append(tn)
+    scheds: List[Scheduler] = [
+        make_scheduler(sched, group, quantum_ns) for group in by_device
+    ]
+    cluster_latency = LatencyRecorder()
+    dispatch_log: Optional[List] = [] if keep_dispatch_log else None
+    tracer: Optional[Tracer] = None
+    if traced:
+        tracer = Tracer(clock, keep_spans=True)
+    elif trace.AUTO:
+        tracer = Tracer(clock, keep_spans=False)
+
+    def _drain() -> None:
+        # Tenants never span devices, so shards are causally independent
+        # and can be drained one after another on the shared clock.
+        for dev in range(n_devices):
+            if by_device[dev]:
+                _serve_device(
+                    clock, dev, by_device[dev], scheds[dev],
+                    backend.queues[dev], backend.stats[dev], max_queue,
+                    cluster_latency, dispatch_log, tracer,
+                )
+
+    if tracer is not None:
+        with trace.activated(tracer):
+            _drain()
+        tracer.close_all()
+    else:
+        _drain()
+    # Final queue-accounting audit, sanitizer or not: a broken invariant
+    # here means the result's counters are lies.
+    for tn in runtime:
+        with fssan.sanitized():
+            _sanity(tn)
+    elapsed_s = (clock.elapsed_ns - t0) / SEC
+    if unmount:
+        backend.unmount()
+    return ClusterRunResult(
+        fs_name=fs_name,
+        scheduler=scheds[0].config_json(),
+        n_devices=n_devices,
+        queue_depth=queue_depth,
+        max_queue=max_queue,
+        seed=seed,
+        elapsed_s=elapsed_s,
+        tenants=[
+            TenantResult(
+                spec=tn.spec.to_json(),
+                device=placement[tn.index],
+                ops=tn.served,
+                submitted=tn.submitted(),
+                rejected=tn.rejected,
+                dropped=tn.dropped,
+                slo_violations=tn.slo_violations,
+                latency=tn.latency,
+                traffic=dict(tn.traffic),
+            )
+            for tn in runtime
+        ],
+        devices=[
+            backend.device_summary(k, elapsed_s) for k in range(n_devices)
+        ],
+        latency=cluster_latency,
+        trace=tracer,
+        dispatch_log=dispatch_log,
+    )

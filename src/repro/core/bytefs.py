@@ -79,11 +79,19 @@ def build_stack(
     device_cache_bytes: Optional[int] = None,
     page_cache_pages: Optional[int] = None,
     faults=None,
+    clock: Optional[VirtualClock] = None,
+    stats: Optional[TrafficStats] = None,
+    instance: str = "",
 ):
     """Build a (clock, stats, device, fs) tuple for one evaluated system.
 
     ``fs_name`` is one of: bytefs, bytefs-dual, bytefs-log, ext4, f2fs,
     nova, pmfs.
+
+    ``clock``/``stats`` let multi-device stacks (repro.cluster) share one
+    virtual clock across several devices while keeping per-device traffic
+    accounting; ``instance`` prefixes the device's resource names so
+    contention groups stay distinct in traces.
     """
     from repro.fs.f2fs import F2FS
     from repro.fs.nova import NovaFS
@@ -91,13 +99,15 @@ def build_stack(
 
     if fs_name not in FIRMWARE_FOR:
         raise ValueError(f"unknown file system {fs_name!r}")
-    clock = VirtualClock(n_threads)
-    stats = TrafficStats()
+    clock = clock if clock is not None else VirtualClock(n_threads)
+    stats = stats if stats is not None else TrafficStats()
     cfg = mssd_config or MSSDConfig()
     if geometry is not None:
         cfg.geometry = geometry
     if timing is not None:
         cfg.timing = timing
+    if instance:
+        cfg.instance = instance
     cfg.firmware = FIRMWARE_FOR[fs_name]
     if log_bytes is not None:
         cfg.bytefs_fw = replace(cfg.bytefs_fw, log_bytes=log_bytes)

@@ -18,17 +18,21 @@ class HostLink:
     them.
     """
 
-    def __init__(self, clock: VirtualClock, timing: TimingModel) -> None:
+    def __init__(
+        self, clock: VirtualClock, timing: TimingModel, name: str = "pcie"
+    ) -> None:
         self.clock = clock
         self.timing = timing
-        self._dma = Resource("pcie-dma")
-        self._posted = Pipeline("pcie-posted", timing.mmio_write_pipeline)
+        # ``name`` prefixes every link resource so multi-device stacks
+        # (repro.cluster) keep per-device contention groups distinct.
+        self._dma = Resource(f"{name}-dma")
+        self._posted = Pipeline(f"{name}-posted", timing.mmio_write_pipeline)
         # Loads are non-posted but the CPU keeps several outstanding
         # (memory-level parallelism), so bulk reads overlap.
         self._nonposted = Pipeline(
-            "pcie-nonposted", timing.mmio_read_parallelism
+            f"{name}-nonposted", timing.mmio_read_parallelism
         )
-        self._barrier = Resource("pcie-barrier")
+        self._barrier = Resource(f"{name}-barrier")
         self.mmio_reads = 0
         self.mmio_writes = 0
         self.dma_transfers = 0

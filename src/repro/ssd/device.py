@@ -49,6 +49,10 @@ class MSSDConfig:
     firmware: str = "bytefs"  # "bytefs" or "baseline"
     #: fraction of raw flash reserved for the FTL (not host-visible)
     overprovision: float = 0.125
+    #: resource-name prefix for multi-device stacks (repro.cluster): a
+    #: non-empty instance name keeps each device's channel/link/firmware
+    #: contention groups distinct in traces.  Empty = legacy names.
+    instance: str = ""
     bytefs_fw: ByteFSFirmwareConfig = field(
         default_factory=ByteFSFirmwareConfig
     )
@@ -81,9 +85,12 @@ class MSSD:
             config.geometry.total_pages * (1 - config.overprovision)
         )
         self._capacity_bytes = self._capacity_blocks * self.page_size
+        prefix = f"{config.instance}." if config.instance else ""
         self.flash = FlashArray(config.geometry)
-        self.channels = ChannelArray(config.geometry.n_channels)
-        self.link = HostLink(clock, config.timing)
+        self.channels = ChannelArray(
+            config.geometry.n_channels, name=f"{prefix}flash-ch"
+        )
+        self.link = HostLink(clock, config.timing, name=f"{prefix}pcie")
         self.ftl = FTL(
             config.geometry,
             self.flash,
@@ -105,6 +112,13 @@ class MSSD:
         else:
             raise ValueError(f"unknown firmware variant {config.firmware!r}")
         self.firmware.faults = self.faults
+        if prefix:
+            # The firmware core resource is built with the legacy name;
+            # re-label it (before any request is served) so per-device
+            # contention groups stay distinct in traces.
+            core = self.firmware.fw_core
+            core.name = f"{prefix}{core.name}"
+            core.group = f"{prefix}{core.group}"
         # Bound methods cached for the per-access hot paths: none of these
         # collaborators is ever replaced after construction.
         self._record_host_ssd = stats.record_host_ssd

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -42,3 +44,68 @@ def test_unknown_workload():
 def test_unknown_fs_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--fs", "ntfs"])
+
+
+def test_run_json_echoes_seed_and_config(capsys):
+    assert main(
+        ["run", "--fs", "bytefs", "--workload", "mkdir", "--format=json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["seed"] == 42
+    assert doc["config"]["workload"] == "mkdir"
+    assert doc["config"]["log_bytes"] == 1 << 20
+
+
+# ---------------------------------------------------------------------- #
+# repro serve
+# ---------------------------------------------------------------------- #
+
+_SERVE = ["serve", "--tenants", "2", "--ops", "10"]
+
+
+def test_serve_text(capsys):
+    assert main(_SERVE + ["--sched", "drr"]) == 0
+    out = capsys.readouterr().out
+    assert "tn0-mixed" in out
+    assert "tn1-light" in out
+    assert "p99 us" in out
+    assert "total:" in out
+
+
+def test_serve_json_is_valid_and_deterministic(capsys):
+    from repro.cluster import validate_cluster_run
+
+    assert main(_SERVE + ["--format=json"]) == 0
+    first = capsys.readouterr().out
+    assert main(_SERVE + ["--format=json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert validate_cluster_run(doc) == []
+    assert doc["schema"] == "repro.cluster.run/v1"
+    assert doc["seed"] == 42
+    assert {t["spec"]["name"] for t in doc["tenants"]} == {
+        "tn0-mixed", "tn1-light",
+    }
+
+
+def test_serve_every_policy_and_multi_device(capsys):
+    for sched in ("fifo", "drr", "token-bucket"):
+        argv = _SERVE + ["--sched", sched, "--devices", "2", "--format=json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scheduler"]["policy"] == sched
+        assert len(doc["devices"]) == 2
+
+
+def test_serve_out_writes_document(tmp_path, capsys):
+    path = tmp_path / "cluster.json"
+    assert main(_SERVE + ["--out", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.cluster.run/v1"
+
+
+def test_serve_rejects_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        main(["serve", "--sched", "deadline"])

@@ -2,7 +2,7 @@
 
 One trip test per invariant class proves each contract is live (a check
 that can never fail is documentation, not a sanitizer), and the workload
-test proves a real ByteFS run actually reaches all five classes.
+test proves real runs actually reach every class.
 """
 
 from __future__ import annotations
@@ -140,7 +140,12 @@ def test_trip_clock_advance_to_nan():
 
 def test_bytefs_workload_exercises_all_invariant_classes():
     """A small ByteFS run must pass through every FSSAN class at least
-    once — otherwise the sanitizer silently stopped covering a layer."""
+    once — otherwise the sanitizer silently stopped covering a layer.
+
+    FSSAN-QUEUE lives in the serving layer, so a small cluster run rides
+    along with the single-tenant workload."""
+    from repro.cluster import default_tenants, serve_cluster
+
     with fssan.sanitized():
         run_workload(
             "bytefs",
@@ -148,8 +153,31 @@ def test_bytefs_workload_exercises_all_invariant_classes():
             geometry=SMALL_GEOMETRY,
             unmount=True,
         )
+        serve_cluster(
+            default_tenants(2, n_ops=8),
+            geometry=SMALL_GEOMETRY,
+        )
     missing = [c for c in fssan.ALL_CLASSES if fssan.COUNTS.get(c, 0) == 0]
     assert not missing, f"invariant classes never checked: {missing}"
+
+
+def test_queue_accounting_balances():
+    with fssan.sanitized():
+        fssan.check_queue_accounting("t", 10, 5, 2, 2, 1)
+    assert fssan.COUNTS.get(fssan.QUEUE, 0) >= 1
+
+
+def test_queue_accounting_trips_on_imbalance():
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError) as exc:
+            fssan.check_queue_accounting("t", 10, 5, 2, 2, 0)
+    assert exc.value.invariant == fssan.QUEUE
+
+
+def test_queue_accounting_trips_on_negative_counter():
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError):
+            fssan.check_queue_accounting("t", 4, 5, -1, 0, 0)
 
 
 def test_counts_attribute_checks_to_the_right_class():

@@ -410,6 +410,19 @@ def test_lint_clean_on_real_tree():
     assert res.findings == [], "\n".join(f.format() for f in res.findings)
 
 
+def test_cluster_package_is_registered_with_every_pass():
+    """repro.cluster sits on the host side of the boundary, runs inside
+    the crash-site-guarded stack, and legitimately reads the virtual
+    clock — dropping any registration would silently shrink coverage."""
+    from repro.analysis.crashsites import STACK_PREFIXES
+    from repro.analysis.determinism import DET001_CONSUMERS
+    from repro.analysis.layering import HOST_PREFIXES
+
+    assert "repro.cluster" in STACK_PREFIXES
+    assert "repro.cluster" in DET001_CONSUMERS
+    assert "repro.cluster" in HOST_PREFIXES
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #

@@ -118,3 +118,57 @@ def test_latency_recorder_empty():
     rec = LatencyRecorder()
     assert math.isnan(rec.mean("nope"))
     assert math.isnan(rec.percentile("nope", 95))
+
+
+# ---------------------------------------------------------------------- #
+# reset() audit: every mutable aggregate must be covered, reflectively,
+# so adding a new counter dict without teaching reset() fails here
+# ---------------------------------------------------------------------- #
+
+def _populated_traffic() -> TrafficStats:
+    st = TrafficStats()
+    st.record_host_ssd(StructKind.DATA, Direction.WRITE, Interface.BLOCK, 512)
+    st.record_flash(StructKind.INODE, Direction.READ, 4096)
+    st.record_app(Direction.READ, 100)
+    st.bump("cache_hits", 3)
+    st.bump_fault("crashes", 1)
+    return st
+
+
+def test_traffic_reset_covers_every_aggregate_attribute():
+    st = _populated_traffic()
+    mutable = {
+        name: val for name, val in vars(st).items()
+        if isinstance(val, dict)
+    }
+    assert len(mutable) >= 5, "expected the five aggregate dicts"
+    assert all(mutable.values()), "audit setup must populate every dict"
+    st.reset()
+    for name, val in vars(st).items():
+        if isinstance(val, dict):
+            assert val == {}, f"TrafficStats.reset() missed {name!r}"
+
+
+def test_traffic_reset_then_record_starts_from_zero():
+    st = _populated_traffic()
+    st.reset()
+    st.record_app(Direction.READ, 7)
+    assert st.app[Direction.READ] == 7
+
+
+def test_latency_reset_covers_samples_and_sort_cache():
+    rec = LatencyRecorder()
+    rec.record("op", 5.0)
+    rec.record("op", 15.0)
+    assert rec.percentile("op", 50) == 10.0  # populates the sort cache
+    rec.reset()
+    for name, val in vars(rec).items():
+        if isinstance(val, dict):
+            assert val == {}, f"LatencyRecorder.reset() missed {name!r}"
+    assert rec.ops() == []
+    assert math.isnan(rec.percentile("op", 50))
+    # A stale sort cache surviving reset would surface here: the new
+    # sample must be the whole distribution, not merged with the old.
+    rec.record("op", 42.0)
+    assert rec.percentile("op", 50) == 42.0
+    assert rec.count("op") == 1

@@ -171,3 +171,25 @@ def test_bytefs_uses_byte_interface_ext4_does_not():
     assert rb.byte_write > 0
     assert re4.byte_write == 0
     assert rb.meta_write < re4.meta_write
+
+
+def test_config_echo_is_opt_in_and_golden_safe():
+    """Without ``config_echo`` the JSON document must not grow new keys —
+    the golden differential fixtures pin its exact byte content."""
+    wl_args = dict(n_files=8, n_threads=1, seed=7)
+    plain = run_workload(
+        "bytefs", MicroCreate(**wl_args), geometry=SMALL_GEOMETRY
+    )
+    doc = plain.to_json()
+    assert "seed" not in doc
+    assert "config" not in doc
+
+    echoed = run_workload(
+        "bytefs", MicroCreate(**wl_args), geometry=SMALL_GEOMETRY,
+        config_echo={"workload": "create", "log_bytes": 1 << 20},
+    )
+    doc = echoed.to_json()
+    assert doc["seed"] == 7
+    assert doc["config"] == {"workload": "create", "log_bytes": 1 << 20}
+    # the echo annotates the document without perturbing the run itself
+    assert echoed.throughput == plain.throughput
