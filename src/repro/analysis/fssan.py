@@ -321,26 +321,33 @@ def check_queue_accounting(
     pending: int,
     rejected: int,
     dropped: int = 0,
+    lost_to_crash: int = 0,
 ) -> None:
     """A tenant's request ledger balances: nothing lost, nothing forged.
 
-    ``submitted`` counts arrivals that reached admission; each must be in
-    exactly one of the served / pending / rejected / dropped buckets.
+    ``submitted`` counts arrivals that reached admission; each must be
+    in exactly one of the served / pending / rejected / dropped /
+    lost-to-crash buckets.  ``lost_to_crash`` counts requests in flight
+    when their shard powered off mid-serve — the one legitimate way a
+    request disappears without being served, and it must still be
+    accounted, not silently vanish.
     """
-    counts = (submitted, served, pending, rejected, dropped)
+    counts = (submitted, served, pending, rejected, dropped, lost_to_crash)
     if any(c < 0 for c in counts):
         _trip(
             QUEUE,
             f"tenant {tenant!r} has a negative queue counter: "
             f"submitted={submitted} served={served} pending={pending} "
-            f"rejected={rejected} dropped={dropped}",
+            f"rejected={rejected} dropped={dropped} "
+            f"lost_to_crash={lost_to_crash}",
         )
-    if submitted != served + pending + rejected + dropped:
+    if submitted != served + pending + rejected + dropped + lost_to_crash:
         _trip(
             QUEUE,
             f"tenant {tenant!r} queue ledger out of balance: "
             f"submitted={submitted} != served={served} + pending={pending} "
-            f"+ rejected={rejected} + dropped={dropped}",
+            f"+ rejected={rejected} + dropped={dropped} "
+            f"+ lost_to_crash={lost_to_crash}",
         )
     _ok(QUEUE)
 

@@ -28,6 +28,10 @@ HOST_PREFIXES = (
     "repro.core",
     "repro.cli",
     "repro.cluster",
+    # the fault layer drives devices only through their public MSSD/fs
+    # surface (arm/power_fail/crash/remount), so it is host-side code
+    # and must not reach device internals either
+    "repro.faults",
     "repro.__main__",
 )
 

@@ -95,24 +95,38 @@ def _cmd_serve(args) -> int:
         serve_cluster,
         validate_cluster_run,
     )
+    from repro.faults import parse_fault
 
     tenants = default_tenants(args.tenants, n_ops=args.ops)
-    result = serve_cluster(
-        tenants,
-        fs_name=args.fs,
-        n_devices=args.devices,
-        sched=args.sched,
-        seed=args.seed,
-        queue_depth=args.queue_depth,
-        max_queue=args.max_queue,
-        quantum_ns=args.quantum_ns,
-    )
+    try:
+        faults = [parse_fault(spec) for spec in (args.fault or ())]
+        result = serve_cluster(
+            tenants,
+            fs_name=args.fs,
+            n_devices=args.devices,
+            sched=args.sched,
+            seed=args.seed,
+            queue_depth=args.queue_depth,
+            max_queue=args.max_queue,
+            quantum_ns=args.quantum_ns,
+            faults=faults,
+            outage_policy=args.outage_policy,
+        )
+    except ValueError as exc:
+        # bad --fault spec / fault plan (device out of range, duplicate
+        # device, unmirrorable workload): a usage error, not a crash
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
     doc = result.to_json()
     problems = validate_cluster_run(doc)
     if problems:  # pragma: no cover - harness bug guard
         for p in problems:
             print(f"schema error: {p}", file=sys.stderr)
         return 2
+    # Oracle verdicts gate the exit code: a recovery that lost
+    # acked-durable data is a failed run even though it produced a
+    # well-formed document.
+    dirty = [r for r in result.recovery if not r["oracle"]["clean"]]
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(doc, fh, sort_keys=True, indent=2)
@@ -120,7 +134,7 @@ def _cmd_serve(args) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     if args.format == "json":
         print(json.dumps(doc, sort_keys=True, indent=2))
-        return 0
+        return 1 if dirty else 0
     rows = []
     for t in doc["tenants"]:
         lat = t["latency"].get(ALL_OPS) or {}
@@ -144,8 +158,31 @@ def _cmd_serve(args) -> int:
         f"  total: {doc['ops']} ops in {doc['elapsed_s'] * 1000:.2f} ms "
         f"simulated, {doc['slo_violations']} SLO violations, "
         f"{doc['rejected']} rejected"
+        + (
+            f", {doc['lost_to_crash']} lost to crash"
+            if doc["lost_to_crash"] else ""
+        )
     )
-    return 0
+    # result.recovery keeps the measured wall_s; the JSON document nulls
+    # it so identical invocations stay byte-identical.
+    for rec in result.recovery:
+        oc = rec["oracle"]
+        verdict = (
+            "clean" if oc["clean"]
+            else f"VIOLATED ({sum(len(v) for v in oc['errors'].values())})"
+        )
+        fired = rec["fired"]
+        print(
+            f"  recovery: dev{rec['device']} down at "
+            f"{rec['t_down_ns'] / 1e6:.3f} ms "
+            f"({'mid-' + fired['label'] if fired else 'between ops'}"
+            f"{', torn' if fired and fired['torn_bytes'] else ''}), "
+            f"back at {rec['t_up_ns'] / 1e6:.3f} ms "
+            f"(+{rec['virtual_ns'] / 1e6:.3f} ms virtual, "
+            f"wall {rec['wall_s'] * 1e3:.1f} ms), "
+            f"oracle {verdict} over {len(oc['checked'])} tenant(s)"
+        )
+    return 1 if dirty else 0
 
 
 def _cmd_compare(args) -> int:
@@ -346,8 +383,20 @@ def main(argv: Optional[list] = None) -> int:
         help="DRR service quantum per weight unit (default 500us)",
     )
     serve_p.add_argument(
+        "--fault", action="append", default=None, metavar="SPEC",
+        help="crash and recover a device mid-run: 'crash:dev<k>@t=<s>' "
+        "(virtual seconds after epoch start) or 'crash:dev<k>@ops=<n>' "
+        "(after n dispatched requests), optional '+torn' suffix for a "
+        "torn in-flight write; repeatable, at most one per device",
+    )
+    serve_p.add_argument(
+        "--outage-policy", choices=("requeue", "reject"), default="requeue",
+        help="arrivals landing while a device is down: wait for recovery "
+        "(requeue, default) or count as rejected",
+    )
+    serve_p.add_argument(
         "--format", choices=("text", "json"), default="text",
-        help="json: the repro.cluster.run/v1 document",
+        help="json: the repro.cluster.run/v2 document",
     )
     serve_p.add_argument(
         "--out", default=None,

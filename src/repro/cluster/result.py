@@ -1,10 +1,24 @@
 """The versioned result document of a cluster serving run.
 
-``repro serve --format=json`` emits the ``repro.cluster.run/v1`` schema:
+``repro serve --format=json`` emits the ``repro.cluster.run/v2`` schema:
 per-tenant latency distributions (p50/p95/p99 of queueing + service),
 SLO-violation and admission-rejection counts, per-tenant attributed
 traffic, per-device aggregates, and a full config echo (seed, scheduler,
 tenant specs) so any result file is reproducible from itself.
+
+v2 adds the recovery section for faulted runs (``--fault``): a
+``fault_plan`` echo, per-device recovery records (crash trigger, what
+fired, outage window on the virtual timeline, remount firmware stats,
+and the durability-oracle verdict per tenant), plus per-tenant
+``lost_to_crash`` / ``outage_rejected`` / ``slo_violations_outage``
+counters.  The extended request ledger is
+``submitted == ops + rejected + dropped + lost_to_crash``.
+
+One field is deliberately non-reproducible: each recovery record's
+``wall_s`` (host wall-clock spent in the recovery protocol) is kept on
+the live :attr:`ClusterRunResult.recovery` records but serialized as
+``null``, so the JSON document stays byte-identical across identical
+invocations (the CI determinism gate ``cmp``\\ s two runs).
 
 :func:`validate_cluster_run` is the CI schema gate, in the same style as
 ``repro.bench.perf.validate_simspeed``.
@@ -18,7 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.stats.traffic import LatencyRecorder
 
-SCHEMA = "repro.cluster.run/v1"
+SCHEMA = "repro.cluster.run/v2"
 
 #: LatencyRecorder key that aggregates every op of a tenant.
 ALL_OPS = "all"
@@ -43,13 +57,20 @@ class TenantResult:
     spec: Dict                       # TenantSpec.to_json() echo
     device: int
     ops: int                         # requests served to completion
-    submitted: int                   # arrivals processed (served+rejected+dropped)
+    submitted: int                   # arrivals processed (every bucket below)
     rejected: int                    # admission-control rejections
     dropped: int                     # arrivals abandoned (workload exhausted)
     slo_violations: int
     latency: LatencyRecorder
     #: host<->SSD / flash / app bytes attributed to this tenant's dispatches
     traffic: Dict[str, int] = field(default_factory=dict)
+    #: requests in flight when the shard lost power (never completed)
+    lost_to_crash: int = 0
+    #: rejections attributed to arrivals landing inside an outage window
+    #: (``--outage-policy reject``); always <= rejected
+    outage_rejected: int = 0
+    #: SLO violations whose [arrival, completion] overlapped an outage
+    slo_violations_outage: int = 0
 
     @property
     def name(self) -> str:
@@ -67,7 +88,10 @@ class TenantResult:
             "submitted": self.submitted,
             "rejected": self.rejected,
             "dropped": self.dropped,
+            "lost_to_crash": self.lost_to_crash,
+            "outage_rejected": self.outage_rejected,
             "slo_violations": self.slo_violations,
+            "slo_violations_outage": self.slo_violations_outage,
             "throughput_ops_s": _num(throughput),
             "write_amplification": _num(wamp),
             "latency": _latency_json(self.latency),
@@ -77,7 +101,7 @@ class TenantResult:
 
 @dataclass
 class ClusterRunResult:
-    """The ``repro.cluster.run/v1`` document (plus live objects)."""
+    """The ``repro.cluster.run/v2`` document (plus live objects)."""
 
     fs_name: str
     scheduler: Dict                  # Scheduler.config_json()
@@ -93,6 +117,13 @@ class ClusterRunResult:
     trace: Optional[object] = None
     #: optional per-dispatch log: (device, tenant, op, arrival, begin, end)
     dispatch_log: Optional[List] = None
+    #: arrivals during an outage wait ("requeue") or bounce ("reject")
+    outage_policy: str = "requeue"
+    #: DeviceCrash.to_json() echo of the requested faults; None = no faults
+    fault_plan: Optional[List[Dict]] = None
+    #: one record per power-cycled device, in device order; ``wall_s`` on
+    #: these live records is the measured host time (nulled in to_json)
+    recovery: List[Dict] = field(default_factory=list)
 
     @property
     def ops(self) -> int:
@@ -124,6 +155,10 @@ class ClusterRunResult:
             "throughput_ops_s": _num(self.throughput),
             "slo_violations": sum(t.slo_violations for t in self.tenants),
             "rejected": sum(t.rejected for t in self.tenants),
+            "lost_to_crash": sum(t.lost_to_crash for t in self.tenants),
+            "outage_policy": self.outage_policy,
+            "fault_plan": self.fault_plan,
+            "recovery": [{**r, "wall_s": None} for r in self.recovery],
             "latency": _latency_json(self.latency),
             "tenants": [t.to_json(self.elapsed_s) for t in self.tenants],
             "devices": self.devices,
@@ -145,6 +180,9 @@ _TOP_FIELDS = {
     "ops": int,
     "slo_violations": int,
     "rejected": int,
+    "lost_to_crash": int,
+    "outage_policy": str,
+    "recovery": list,
     "latency": dict,
     "tenants": list,
     "devices": list,
@@ -157,10 +195,16 @@ _TENANT_FIELDS = {
     "submitted": int,
     "rejected": int,
     "dropped": int,
+    "lost_to_crash": int,
+    "outage_rejected": int,
     "slo_violations": int,
+    "slo_violations_outage": int,
     "latency": dict,
     "traffic": dict,
 }
+
+#: numeric virtual-timeline fields of one recovery record
+_RECOVERY_NUM_FIELDS = ("t_down_ns", "t_up_ns", "virtual_ns")
 
 _LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99")
 
@@ -178,6 +222,52 @@ def _check_latency(lat: Dict, where: str, problems: List[str]) -> None:
                 problems.append(
                     f"{where}.latency[{op!r}].{key} must be a number or null"
                 )
+
+
+def _check_recovery(doc: Dict, problems: List[str]) -> None:
+    n_devices = doc.get("n_devices")
+    for i, rec in enumerate(doc.get("recovery", ())):
+        where = f"recovery[{i}]"
+        if not isinstance(rec, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        dev = rec.get("device")
+        if not isinstance(dev, int) or isinstance(dev, bool):
+            problems.append(f"{where}.device must be an int")
+        elif isinstance(n_devices, int) and not 0 <= dev < n_devices:
+            problems.append(f"{where}.device out of range")
+        for key in _RECOVERY_NUM_FIELDS:
+            v = rec.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                problems.append(f"{where}.{key} must be a number")
+        if all(
+            isinstance(rec.get(k), (int, float)) for k in ("t_down_ns", "t_up_ns")
+        ) and rec["t_up_ns"] < rec["t_down_ns"]:
+            problems.append(f"{where}: t_up_ns precedes t_down_ns")
+        wall = rec.get("wall_s")
+        if wall is not None and (
+            not isinstance(wall, (int, float)) or isinstance(wall, bool)
+        ):
+            problems.append(f"{where}.wall_s must be a number or null")
+        if not isinstance(rec.get("trigger"), dict):
+            problems.append(f"{where}.trigger must be an object")
+        fired = rec.get("fired", 0)
+        if fired is not None and not isinstance(fired, dict):
+            problems.append(f"{where}.fired must be an object or null")
+        if not isinstance(rec.get("fw"), dict):
+            problems.append(f"{where}.fw must be an object")
+        oracle = rec.get("oracle")
+        if not isinstance(oracle, dict):
+            problems.append(f"{where}.oracle must be an object")
+            continue
+        if not isinstance(oracle.get("clean"), bool):
+            problems.append(f"{where}.oracle.clean must be a bool")
+        if not isinstance(oracle.get("checked"), list):
+            problems.append(f"{where}.oracle.checked must be a list")
+        if not isinstance(oracle.get("errors"), dict):
+            problems.append(f"{where}.oracle.errors must be an object")
+        elif oracle.get("clean") is True and oracle["errors"]:
+            problems.append(f"{where}.oracle clean but has errors")
 
 
 def validate_cluster_run(doc: Dict) -> List[str]:
@@ -213,14 +303,28 @@ def validate_cluster_run(doc: Dict) -> List[str]:
                 _check_latency(t["latency"], f"tenants[{i}]", problems)
             if isinstance(t.get("spec"), dict) and "name" not in t["spec"]:
                 problems.append(f"tenants[{i}].spec missing 'name'")
-            served = t.get("ops")
-            if all(
-                isinstance(t.get(k), int)
-                for k in ("ops", "submitted", "rejected", "dropped")
-            ) and t["submitted"] != served + t["rejected"] + t["dropped"]:
+            ledger = (
+                "ops", "submitted", "rejected", "dropped", "lost_to_crash",
+            )
+            if all(isinstance(t.get(k), int) for k in ledger) and (
+                t["submitted"]
+                != t["ops"] + t["rejected"] + t["dropped"]
+                + t["lost_to_crash"]
+            ):
                 problems.append(
-                    f"tenants[{i}]: submitted != ops + rejected + dropped"
+                    f"tenants[{i}]: submitted != ops + rejected + dropped "
+                    "+ lost_to_crash"
                 )
+            for part, whole in (
+                ("outage_rejected", "rejected"),
+                ("slo_violations_outage", "slo_violations"),
+            ):
+                if (
+                    isinstance(t.get(part), int)
+                    and isinstance(t.get(whole), int)
+                    and t[part] > t[whole]
+                ):
+                    problems.append(f"tenants[{i}]: {part} exceeds {whole}")
     devices = doc.get("devices")
     if isinstance(devices, list):
         n = doc.get("n_devices")
@@ -232,4 +336,16 @@ def validate_cluster_run(doc: Dict) -> List[str]:
     sched = doc.get("scheduler")
     if isinstance(sched, dict) and not isinstance(sched.get("policy"), str):
         problems.append("scheduler.policy must be a string")
+    if doc.get("outage_policy") not in (None, "requeue", "reject"):
+        problems.append("outage_policy must be 'requeue' or 'reject'")
+    plan = doc.get("fault_plan", 0)
+    if plan is not None and (
+        not isinstance(plan, list)
+        or not all(isinstance(f, dict) for f in plan)
+    ):
+        problems.append("fault_plan must be null or a list of objects")
+    if isinstance(doc.get("recovery"), list):
+        _check_recovery(doc, problems)
+        if plan is None and doc["recovery"]:
+            problems.append("recovery section present without a fault_plan")
     return problems

@@ -115,6 +115,14 @@ class Scheduler:
     def charge(self, tenant, service_ns: float) -> None:
         """Account measured service time after the op completes."""
 
+    def on_outage(self, t_down: float, t_up: float) -> None:
+        """The device power-cycled during ``[t_down, t_up)``.
+
+        Policies may reset in-round state here; the default keeps
+        everything (token buckets, for instance, refill across the
+        outage exactly as they would across any idle period).
+        """
+
     def config_json(self) -> Dict:
         return {"policy": self.name}
 
@@ -181,6 +189,14 @@ class DRRScheduler(Scheduler):
 
     def charge(self, tenant, service_ns: float) -> None:
         tenant.deficit -= service_ns
+
+    def on_outage(self, t_down: float, t_up: float) -> None:
+        # The round in progress died with the device: recovery starts a
+        # fresh round rather than letting the pre-crash holder spend a
+        # stale deficit earned before the power loss.
+        self._holder = None
+        for t in self._ring:
+            t.deficit = 0.0
 
     def config_json(self) -> Dict:
         return {"policy": self.name, "quantum_ns": self.quantum_ns}

@@ -27,17 +27,41 @@ Dispatch semantics (per device, deterministic):
    own clock thread so device-level contention is shared with any
    overlapping ops admitted through other queue slots.
 
+**Faults under load** (``faults=`` / ``repro serve --fault``): a
+:class:`~repro.faults.plan.DeviceCrash` powers one shard off mid-run —
+at a virtual time or after N dispatched requests — while tenants keep
+arriving.  The crash lands on the first dispatch at/after the trigger:
+if that op reaches a device-visible mutation the shard's injector fires
+a :class:`~repro.faults.injector.CrashPoint` (optionally torn) with the
+op in flight; an op that mutates nothing (e.g. a cache-hit read) has
+power drop at the op boundary instead.  The in-flight op counts as
+*lost to crash* (submitted, never served), the device queue is down
+until recovery completes, and the file system's own crash-recovery path
+(``fs.crash()`` + ``fs.remount()``) runs inside the outage window,
+followed by a durability-oracle scrub of every tenant namespace on the
+shard.  Arrivals landing inside the outage either wait (``requeue``,
+the default — SLO damage accrues) or bounce (``reject``).  A trigger
+the run never reaches fires at drain, so a planned fault always
+executes.  The extended request ledger — checked by FSSAN-QUEUE — is
+``submitted == served + pending + rejected + dropped + lost_to_crash``.
+
 Everything is a pure function of (seed, config): two identical
-``serve_cluster`` calls produce byte-identical result JSON.
+``serve_cluster`` calls produce byte-identical result JSON.  The one
+measured wall-clock quantity (recovery ``wall_s``) therefore lives only
+on the live result object and serializes as ``null``.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import fssan
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import OracleFS
+from repro.faults.plan import DeviceCrash, check_fault_plan
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
 from repro.sim.clock import MSEC, SEC, VirtualClock
@@ -49,9 +73,12 @@ from repro.trace.tracer import Tracer
 from repro.cluster.result import ALL_OPS, ClusterRunResult, TenantResult
 from repro.cluster.sched import AdmissionQueue, Scheduler, make_scheduler
 from repro.cluster.shard import ShardedBackend
-from repro.cluster.tenant import TenantSpec, make_tenant_workload
+from repro.cluster.tenant import CRASHED, TenantSpec, make_tenant_workload
 
 _INF = float("inf")
+
+#: outage policies for arrivals landing inside [t_down, t_up)
+OUTAGE_POLICIES = ("requeue", "reject")
 
 
 @dataclass
@@ -68,10 +95,19 @@ class _TenantRT:
     served: int = 0
     rejected: int = 0
     dropped: int = 0
+    lost_to_crash: int = 0           # in flight when the shard lost power
+    outage_rejected: int = 0         # rejections attributed to an outage
     slo_violations: int = 0
+    slo_violations_outage: int = 0   # violations overlapping the outage
     done: bool = False               # workload generator exhausted
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     traffic: Dict[str, int] = field(default_factory=dict)
+    #: namespace view and oracle mirror (faulted shards only)
+    ns: Optional[object] = None
+    oracle: Optional[OracleFS] = None
+    #: arrivals inside [reject_from, reject_to) bounce ("reject" policy)
+    reject_from: float = _INF
+    reject_to: float = -_INF
 
     @property
     def tid(self) -> int:
@@ -86,10 +122,15 @@ class _TenantRT:
         i = self.next_i
         n = len(arrivals)
         while i < n and arrivals[i] <= t:
-            if len(self.queue) >= max_queue:
+            a = arrivals[i]
+            if self.reject_from <= a < self.reject_to:
+                # Arrived while the shard was down (policy "reject").
+                self.rejected += 1
+                self.outage_rejected += 1
+            elif len(self.queue) >= max_queue:
                 self.rejected += 1
             else:
-                self.queue.append(arrivals[i])
+                self.queue.append(a)
             i += 1
         self.next_i = i
 
@@ -135,8 +176,123 @@ def _attribute(tn: _TenantRT, before: Tuple, after: Tuple) -> None:
 def _sanity(tn: _TenantRT) -> None:
     fssan.check_queue_accounting(
         tn.spec.name, tn.submitted(), tn.served, len(tn.queue),
-        tn.rejected, tn.dropped,
+        tn.rejected, tn.dropped, tn.lost_to_crash,
     )
+
+
+@dataclass
+class _DeviceFault:
+    """Mutable runtime state of one planned device crash."""
+
+    spec: DeviceCrash
+    injector: FaultInjector
+    t_crash: float = _INF            # absolute trigger time (ns); inf = ops
+    armed: bool = False              # injector armed, crash op pending
+    done: bool = False               # power-cycled and recovered
+    dispatched: int = 0              # grants on this device so far
+    t_down: float = 0.0
+    t_up: float = 0.0
+    wall_s: float = 0.0              # measured host time in recovery
+    record: Optional[Dict] = None    # the result document's entry
+
+    def due(self, t_dec: float) -> bool:
+        if self.spec.after_ops is not None:
+            return self.dispatched >= self.spec.after_ops
+        return t_dec >= self.t_crash
+
+
+def _crash_and_recover(
+    clock: VirtualClock,
+    device: int,
+    device_obj,
+    fs,
+    tenants: List[_TenantRT],
+    queue: AdmissionQueue,
+    sched: Optional[Scheduler],
+    stats: TrafficStats,
+    fault: _DeviceFault,
+    outage_policy: str,
+    tracer: Optional[Tracer],
+) -> None:
+    """Power-cycle one shard and bring it back on the virtual timeline.
+
+    Runs synchronously on the current clock thread, at the instant power
+    dropped: device DRAM state replays from its power-loss log, the file
+    system runs its crash-recovery path (journal replay / log scan), and
+    the durability oracle then scrubs every mirrored tenant namespace —
+    the scrub's reads cost virtual time like a real verification pass,
+    so recovery time includes it.  Other tenants see the outage through
+    the admission queue: every slot is busy until recovery completes.
+    """
+    inj = fault.injector
+    fired = inj.fired
+    inj.disarm()
+    t_down = clock.now
+    stats.bump_fault("fault_power_cycles")
+    if trace.ENABLED:
+        trace.event(
+            "cluster", "crash", device=device,
+            site=fired.label if fired is not None else None,
+        )
+    span = (
+        trace.begin("cluster", "recovery", device=device)
+        if tracer is not None else None
+    )
+    wall0 = time.perf_counter()
+    device_obj.power_fail()
+    fs.crash()
+    fw = fs.remount()
+    checked: List[str] = []
+    errors: Dict[str, List[str]] = {}
+    for tn in sorted(tenants, key=lambda t: t.index):
+        if tn.oracle is None:
+            continue
+        checked.append(tn.spec.name)
+        bad = tn.oracle.check(tn.ns)
+        if bad:
+            errors[tn.spec.name] = bad
+    fault.wall_s = time.perf_counter() - wall0
+    t_up = clock.now
+    if span is not None:
+        trace.end(span)
+    fault.done = True
+    fault.t_down = t_down
+    fault.t_up = t_up
+    # The submission queue did not survive the power cycle: no grant may
+    # start before the shard is back.  (Never Resource.reset() here —
+    # that would rewind the busy-until timelines.)
+    for slot in queue.slots:
+        if slot.busy_until < t_up:
+            slot.busy_until = t_up
+    if sched is not None:
+        sched.on_outage(t_down, t_up)
+    if outage_policy == "reject":
+        for tn in tenants:
+            tn.reject_from = t_down
+            tn.reject_to = t_up
+    fault.record = {
+        "device": device,
+        "trigger": fault.spec.to_json(),
+        "fired": (
+            {
+                "site": fired.site,
+                "label": fired.label,
+                "nbytes": fired.nbytes,
+                "torn_bytes": fired.torn_bytes,
+            }
+            if fired is not None else None
+        ),
+        "t_down_ns": t_down,
+        "t_up_ns": t_up,
+        "virtual_ns": t_up - t_down,
+        "wall_s": fault.wall_s,
+        "fw": {k: fw[k] for k in sorted(fw)},
+        "oracle": {
+            "checked": checked,
+            "clean": not errors,
+            "errors": errors,
+        },
+    }
 
 
 def _serve_device(
@@ -150,6 +306,11 @@ def _serve_device(
     cluster_latency: LatencyRecorder,
     dispatch_log: Optional[List],
     tracer: Optional[Tracer],
+    device_obj=None,
+    fs=None,
+    fault: Optional[_DeviceFault] = None,
+    outage_policy: str = "requeue",
+    fault_seed: int = 0,
 ) -> None:
     """Drain one device's tenants to completion (see module docstring)."""
     time_of = clock.time_of
@@ -176,6 +337,14 @@ def _serve_device(
             break
         t_free = queue.earliest_free()
         t_dec = t_req if t_req > t_free else t_free
+        # Fault trigger check at the decision instant: the next dispatch
+        # is the one in flight when power drops.
+        if fault is not None and not fault.done and not fault.armed:
+            if fault.due(t_dec):
+                fault.injector.arm_next(
+                    torn=fault.spec.torn, seed=fault_seed
+                )
+                fault.armed = True
         # 2. Pump arrivals (admission control) up to the decision instant.
         for tn in tenants:
             if not tn.done:
@@ -214,6 +383,8 @@ def _serve_device(
             start = rel
         arrival = tn.queue.popleft()
         slot, grant = queue.admit(start)
+        if fault is not None:
+            fault.dispatched += 1
         clock.switch(tn.tid)
         clock.advance_to(grant)
         root = (
@@ -239,9 +410,30 @@ def _serve_device(
             root.op = op_name
             trace.end(root)
         queue.complete(slot, grant, end)
+        _attribute(tn, before, _traffic_totals(stats))
+        if op_name == CRASHED:
+            # The dispatched op was in flight when the shard lost power:
+            # it was submitted but never served (lost to crash), and the
+            # recovery protocol runs right here, at t_down = `end`.
+            tn.lost_to_crash += 1
+            if dispatch_log is not None:
+                dispatch_log.append({
+                    "device": device,
+                    "tenant": tn.spec.name,
+                    "op": op_name,
+                    "arrival": arrival,
+                    "begin": grant,
+                    "end": end,
+                })
+            _crash_and_recover(
+                clock, device, device_obj, fs, tenants, queue, sched,
+                stats, fault, outage_policy, tracer,
+            )
+            if fssan.ENABLED:
+                _sanity(tn)
+            continue
         sched.on_dispatch(tn, grant)
         sched.charge(tn, end - grant)
-        _attribute(tn, before, _traffic_totals(stats))
         lat = end - arrival
         tn.served += 1
         tn.latency.record(op_name, lat)
@@ -250,6 +442,11 @@ def _serve_device(
         cluster_latency.record(ALL_OPS, lat)
         if lat > tn.spec.slo_ms * MSEC:
             tn.slo_violations += 1
+            if (
+                fault is not None and fault.done
+                and arrival < fault.t_up and end > fault.t_down
+            ):
+                tn.slo_violations_outage += 1
         if dispatch_log is not None:
             dispatch_log.append({
                 "device": device,
@@ -261,6 +458,26 @@ def _serve_device(
             })
         if fssan.ENABLED:
             _sanity(tn)
+        if fault is not None and fault.armed and not fault.done:
+            # The crash op completed without reaching a device-visible
+            # mutation (e.g. a cache-hit read): power drops at the op
+            # boundary instead, with nothing in flight.
+            _crash_and_recover(
+                clock, device, device_obj, fs, tenants, queue, sched,
+                stats, fault, outage_policy, tracer,
+            )
+    if fault is not None and not fault.done:
+        # The drain finished before the trigger was reached (or the
+        # armed crash never saw another dispatch): the planned fault
+        # still executes, as a between-ops power-off at drain end, so a
+        # matrix cell always exercises the recovery path.
+        tmax = max(time_of(tn.tid) for tn in tenants)
+        clock.switch(tenants[0].tid)
+        clock.advance_to(tmax)
+        _crash_and_recover(
+            clock, device, device_obj, fs, tenants, queue, sched,
+            stats, fault, outage_policy, tracer,
+        )
 
 
 def serve_cluster(
@@ -280,6 +497,8 @@ def serve_cluster(
     traced: bool = False,
     keep_dispatch_log: bool = False,
     unmount: bool = False,
+    faults: Optional[Sequence[DeviceCrash]] = None,
+    outage_policy: str = "requeue",
 ) -> ClusterRunResult:
     """Run ``tenants`` against a sharded backend under scheduler ``sched``.
 
@@ -287,12 +506,24 @@ def serve_cluster(
     measurement epoch, exactly like the single-tenant harness: traffic
     stats reset and arrival processes start after all tenants are set up
     and every timeline is synchronized.
+
+    ``faults`` crashes and recovers devices mid-run (see the module
+    docstring); every tenant placed on a faulted device must use a
+    profile/``synthetic`` workload, because only those can be mirrored
+    into the durability oracle across a crash.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
     names = [t.name for t in tenants]
     if len(set(names)) != len(names):
         raise ValueError("tenant names must be unique")
+    if outage_policy not in OUTAGE_POLICIES:
+        raise ValueError(
+            f"unknown outage policy {outage_policy!r}; choose from "
+            f"{', '.join(OUTAGE_POLICIES)}"
+        )
+    fault_specs = check_fault_plan(list(faults or ()), n_devices)
+    fault_for: Dict[int, DeviceCrash] = {f.device: f for f in fault_specs}
     clock = VirtualClock(len(tenants))
     backend = ShardedBackend(
         fs_name,
@@ -304,6 +535,7 @@ def serve_cluster(
         device_cache_bytes=device_cache_bytes,
         page_cache_pages=page_cache_pages,
         queue_depth=queue_depth,
+        fault_devices=fault_for,
     )
     # -------------------- setup phase (un-measured) -------------------- #
     runtime: List[_TenantRT] = []
@@ -314,12 +546,31 @@ def serve_cluster(
         clock.switch(i)
         ns = backend.mount_namespace(spec, dev)
         workload = make_tenant_workload(spec, seed)
+        oracle: Optional[OracleFS] = None
+        if dev in fault_for:
+            if not hasattr(workload, "attach_oracle"):
+                raise ValueError(
+                    f"tenant {spec.name!r} runs workload "
+                    f"{spec.workload!r} on faulted device {dev}; only "
+                    "profile/'synthetic' workloads can be oracle-"
+                    "mirrored through a crash"
+                )
+            oracle = OracleFS()
+            workload.attach_oracle(oracle)
         workload.setup(ns)
         gen = workload.make_threads(ns)[0]
-        runtime.append(_TenantRT(index=i, spec=spec, gen=gen, arrivals=[]))
+        runtime.append(_TenantRT(
+            index=i, spec=spec, gen=gen, arrivals=[], ns=ns, oracle=oracle,
+        ))
     # Measurement epoch: sync every timeline, zero every shard's stats.
     t0 = clock.sync_all()
     backend.reset_epoch()
+    fault_rt: List[Optional[_DeviceFault]] = [None] * n_devices
+    for dev, fspec in fault_for.items():
+        frt = _DeviceFault(spec=fspec, injector=backend.injectors[dev])
+        if fspec.at_s is not None:
+            frt.t_crash = t0 + fspec.at_s * SEC
+        fault_rt[dev] = frt
     # Open-loop Poisson arrivals, one independent stream per tenant.
     for tn in runtime:
         rng = make_rng(seed, f"arrivals:{tn.spec.name}")
@@ -356,6 +607,23 @@ def serve_cluster(
                     clock, dev, by_device[dev], scheds[dev],
                     backend.queues[dev], backend.stats[dev], max_queue,
                     cluster_latency, dispatch_log, tracer,
+                    device_obj=backend.devices[dev],
+                    fs=backend.filesystems[dev],
+                    fault=fault_rt[dev],
+                    outage_policy=outage_policy,
+                    fault_seed=seed,
+                )
+        # A faulted device with no tenants still power-cycles (after the
+        # populated shards drained, so its recovery work never delays a
+        # tenant's timeline).
+        for dev in range(n_devices):
+            frt = fault_rt[dev]
+            if frt is not None and not frt.done and not by_device[dev]:
+                clock.switch(0)
+                _crash_and_recover(
+                    clock, dev, backend.devices[dev],
+                    backend.filesystems[dev], [], backend.queues[dev],
+                    None, backend.stats[dev], frt, outage_policy, tracer,
                 )
 
     if tracer is not None:
@@ -391,6 +659,9 @@ def serve_cluster(
                 slo_violations=tn.slo_violations,
                 latency=tn.latency,
                 traffic=dict(tn.traffic),
+                lost_to_crash=tn.lost_to_crash,
+                outage_rejected=tn.outage_rejected,
+                slo_violations_outage=tn.slo_violations_outage,
             )
             for tn in runtime
         ],
@@ -400,4 +671,12 @@ def serve_cluster(
         latency=cluster_latency,
         trace=tracer,
         dispatch_log=dispatch_log,
+        outage_policy=outage_policy,
+        fault_plan=(
+            [f.to_json() for f in fault_specs] if fault_specs else None
+        ),
+        recovery=[
+            frt.record for frt in fault_rt
+            if frt is not None and frt.record is not None
+        ],
     )

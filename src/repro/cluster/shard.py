@@ -19,9 +19,10 @@ scheduler policies arbitrate.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional
+from typing import Collection, Dict, List, Optional
 
 from repro.core.bytefs import build_stack
+from repro.faults.injector import FaultInjector
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
 from repro.sim.clock import VirtualClock
@@ -58,6 +59,7 @@ class ShardedBackend:
         device_cache_bytes: int = 1 << 20,
         page_cache_pages: int = 512,
         queue_depth: int = 4,
+        fault_devices: Collection[int] = (),
     ) -> None:
         if n_devices < 1:
             raise ValueError("need at least one device")
@@ -67,8 +69,14 @@ class ShardedBackend:
         self.devices = []
         self.filesystems = []
         self.queues: List[AdmissionQueue] = []
+        #: per-device crash injector; None unless the device is listed in
+        #: ``fault_devices`` (the serving loop arms it mid-run)
+        self.injectors: List[Optional[FaultInjector]] = []
         for k in range(n_devices):
             stats = TrafficStats()
+            injector = (
+                FaultInjector(stats) if k in fault_devices else None
+            )
             _, _, device, fs = build_stack(
                 fs_name,
                 geometry=geometry,
@@ -76,6 +84,7 @@ class ShardedBackend:
                 log_bytes=log_bytes,
                 device_cache_bytes=device_cache_bytes,
                 page_cache_pages=page_cache_pages,
+                faults=injector,
                 clock=clock,
                 stats=stats,
                 instance=f"dev{k}",
@@ -84,6 +93,7 @@ class ShardedBackend:
             self.devices.append(device)
             self.filesystems.append(fs)
             self.queues.append(AdmissionQueue(k, queue_depth))
+            self.injectors.append(injector)
 
     @property
     def n_devices(self) -> int:
@@ -120,6 +130,10 @@ class ShardedBackend:
             "app_write": stats.app.get(Direction.WRITE, 0),
             "app_read": stats.app.get(Direction.READ, 0),
             "queue_depth": self.queues[device].depth,
+            "fault_counters": {
+                k: stats.fault_counters[k]
+                for k in sorted(stats.fault_counters)
+            },
         }
 
     def unmount(self) -> None:

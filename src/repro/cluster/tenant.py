@@ -26,9 +26,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
+from repro.faults.injector import CrashPoint
+from repro.faults.oracle import OracleFS
 from repro.fs.vfs import O_CREAT, O_RDWR, BaseFileSystem
 from repro.workloads.base import Workload
 from repro.workloads.zipfian import ZipfianGenerator
+
+#: Op name yielded by a crash-aware tenant generator when a
+#: :class:`~repro.faults.injector.CrashPoint` unwound the op in flight.
+#: The serving loop treats it as "this shard just lost power": the op is
+#: lost-to-crash, the device power-cycles and remounts, and the tenant
+#: keeps serving afterwards (the generator survives because it catches
+#: the crash *inside* its own frame instead of letting it propagate).
+CRASHED = "crashed"
 
 #: Built-in tenant profiles: a service-demand shape plus default QoS
 #: parameters.  ``rate_ops_s`` is the open-loop arrival rate on the
@@ -193,15 +203,37 @@ class SyntheticTenantWorkload(Workload):
         self.op_bytes = min(op_bytes, file_bytes)
         self.read_fraction = read_fraction
         self.theta = theta
+        self.oracle: Optional[OracleFS] = None
+
+    def attach_oracle(self, oracle: OracleFS) -> None:
+        """Mirror every op into ``oracle`` (namespace-relative paths).
+
+        With an oracle attached the op stream also survives an injected
+        :class:`CrashPoint`: the generator records exactly which sub-op
+        was in flight (write pending vs. fsync not acked), yields
+        :data:`CRASHED`, and resumes after the serving loop recovers the
+        device — so ``oracle.check()`` against the remounted namespace
+        verifies that every *acked-durable* op survived the power loss.
+        """
+        self.oracle = oracle
 
     def setup(self, fs: BaseFileSystem) -> None:
+        ob = self.oracle
         fs.mkdir("/data")
+        if ob is not None:
+            ob.observe(("mkdir", "/data"))
         payload = b"s" * self.file_bytes
         for i in range(self.n_files):
-            fd = fs.open(f"/data/f{i}", O_CREAT | O_RDWR)
+            path = f"/data/f{i}"
+            fd = fs.open(path, O_CREAT | O_RDWR)
             fs.write(fd, payload)
             fs.close(fd)
+            if ob is not None:
+                ob.observe(("create", path))
+                ob.observe(("write", path, 0, payload))
         fs.sync()
+        if ob is not None:
+            ob.observe(("sync",))
 
     def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
         rng = self.rng(f"ops{tid}")
@@ -210,19 +242,45 @@ class SyntheticTenantWorkload(Workload):
         )
         n_slots = max(1, self.file_bytes // self.op_bytes)
         payload = b"W" * self.op_bytes
+        ob = self.oracle
         for _ in range(self.n_ops):
             path = f"/data/f{zipf.next()}"
             offset = rng.randrange(n_slots) * self.op_bytes
             if rng.random() < self.read_fraction:
-                fd = fs.open(path, O_RDWR)
-                fs.pread(fd, offset, self.op_bytes)
-                fs.close(fd)
+                try:
+                    fd = fs.open(path, O_RDWR)
+                    fs.pread(fd, offset, self.op_bytes)
+                    fs.close(fd)
+                except CrashPoint:
+                    # Reads mutate nothing: power dropped, nothing to
+                    # record as pending.
+                    yield CRASHED
+                    continue
                 yield "read"
             else:
-                fd = fs.open(path, O_RDWR)
-                fs.pwrite(fd, offset, payload)
-                fs.fsync(fd)
-                fs.close(fd)
+                # ``stage`` tells the oracle which sub-op the power loss
+                # caught: 0 = pwrite possibly partial, 1 = data written
+                # but the fsync ack never came back, 2 = fully acked.
+                stage = 0
+                try:
+                    fd = fs.open(path, O_RDWR)
+                    fs.pwrite(fd, offset, payload)
+                    stage = 1
+                    fs.fsync(fd)
+                    stage = 2
+                    fs.close(fd)
+                except CrashPoint:
+                    if ob is not None:
+                        ob.observe(
+                            ("write", path, offset, payload),
+                            completed=stage >= 1,
+                        )
+                        ob.observe(("fsync", path), completed=stage >= 2)
+                    yield CRASHED
+                    continue
+                if ob is not None:
+                    ob.observe(("write", path, offset, payload))
+                    ob.observe(("fsync", path))
                 yield "write"
 
 

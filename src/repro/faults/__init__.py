@@ -10,7 +10,11 @@ The subsystem has three layers:
   whether a recovered file system is admissible;
 * :mod:`repro.faults.sweep` — the driver: enumerate every crash point a
   workload reaches, then re-run the workload crashing at each point,
-  remount, and check the recovery against the oracle.
+  remount, and check the recovery against the oracle;
+* :mod:`repro.faults.plan` — cluster-level fault plans
+  (:class:`DeviceCrash`): crash a whole device mid-serve at a virtual
+  time or op count, executed by :func:`repro.cluster.serve.serve_cluster`
+  (``repro serve --fault``).
 
 See ``docs/FAULTS.md`` for the numbering scheme, the oracle semantics,
 and how to reproduce a single failing crash point.
@@ -24,6 +28,7 @@ from repro.faults.injector import (
     FiredCrash,
 )
 from repro.faults.oracle import OracleFS
+from repro.faults.plan import DeviceCrash, check_fault_plan, parse_fault
 from repro.faults.sweep import (
     CrashResult,
     SweepConfig,
@@ -37,6 +42,7 @@ from repro.faults.sweep import (
 __all__ = [
     "CrashPoint",
     "CrashResult",
+    "DeviceCrash",
     "FaultInjector",
     "FaultPlan",
     "FiredCrash",
@@ -44,7 +50,9 @@ __all__ = [
     "OracleFS",
     "SweepConfig",
     "SweepReport",
+    "check_fault_plan",
     "enumerate_sites",
+    "parse_fault",
     "run_crash",
     "run_sweep",
     "standard_workload",

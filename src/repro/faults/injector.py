@@ -126,6 +126,23 @@ class FaultInjector:
         self.active = True
         self.plan = plan
 
+    def arm_next(self, torn: bool = False, seed: int = 0) -> None:
+        """Arm mid-run: the *next* site reached fires a power loss.
+
+        Unlike :meth:`arm` this does not reset the site counter, so it
+        composes with a stack that has been serving with the injector
+        off (the serving layer's crash-under-load path): whatever
+        device-visible mutation happens next is the one in flight when
+        power drops.  If no mutation is ever reached the injector simply
+        stays armed; the driver decides what a between-ops power-off
+        means (``fired`` stays ``None``).
+        """
+        self.plan = FaultPlan(self.n_sites, torn=torn, seed=seed)
+        self.active = True
+        self.fired = None
+        self._dead = False
+        self._tearing = False
+
     def disarm(self) -> None:
         """Stop injecting and counting; mutations apply normally again.
 

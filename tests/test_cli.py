@@ -82,7 +82,7 @@ def test_serve_json_is_valid_and_deterministic(capsys):
     assert first == second
     doc = json.loads(first)
     assert validate_cluster_run(doc) == []
-    assert doc["schema"] == "repro.cluster.run/v1"
+    assert doc["schema"] == "repro.cluster.run/v2"
     assert doc["seed"] == 42
     assert {t["spec"]["name"] for t in doc["tenants"]} == {
         "tn0-mixed", "tn1-light",
@@ -103,9 +103,31 @@ def test_serve_out_writes_document(tmp_path, capsys):
     assert main(_SERVE + ["--out", str(path)]) == 0
     capsys.readouterr()
     doc = json.loads(path.read_text())
-    assert doc["schema"] == "repro.cluster.run/v1"
+    assert doc["schema"] == "repro.cluster.run/v2"
 
 
 def test_serve_rejects_unknown_scheduler():
     with pytest.raises(SystemExit):
         main(["serve", "--sched", "deadline"])
+
+
+def test_serve_with_fault_reports_recovery(tmp_path, capsys):
+    path = tmp_path / "faulted.json"
+    argv = _SERVE + ["--fault", "crash:dev0@ops=5", "--out", str(path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "recovery: dev0" in out
+    assert "oracle clean" in out
+    doc = json.loads(path.read_text())
+    assert doc["fault_plan"] == [
+        {"device": 0, "at_s": None, "after_ops": 5, "torn": False}
+    ]
+    assert len(doc["recovery"]) == 1
+    assert doc["recovery"][0]["oracle"]["clean"] is True
+
+
+def test_serve_bad_fault_spec_is_a_usage_error(capsys):
+    assert main(_SERVE + ["--fault", "nonsense"]) == 2
+    assert "bad fault spec" in capsys.readouterr().err
+    assert main(_SERVE + ["--fault", "crash:dev9@t=0.1"]) == 2
+    assert "device 9" in capsys.readouterr().err

@@ -1,0 +1,433 @@
+"""Faults under load: crash-and-recover devices mid-serve.
+
+The matrix crosses the faults axis (crash-at-time / crash-after-ops,
+torn or clean) with the scheduling axis (fifo / drr / token-bucket)
+for every file system, and asserts three invariants per cell:
+
+1. **oracle-clean recovery** — every acked-durable op survives the
+   power cycle (the fsync-durability oracle scrubs each tenant's
+   namespace right after remount);
+2. **ledger balance** — submitted == served + rejected + dropped +
+   lost_to_crash for every tenant (also enforced by FSSAN-QUEUE inside
+   the run);
+3. **byte-determinism** — two identical invocations serialize to the
+   same ``repro.cluster.run/v2`` document, byte for byte, crash and
+   recovery included.
+
+A mutation check proves the matrix has teeth: a planted recovery bug
+(remount corrupting durable data) must turn the oracle verdict red.
+``repro.host.mmap`` gets its crash coverage here too: power loss at
+every site inside ``msync`` must leave an oracle-admissible image.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    SCHEMA,
+    TenantSpec,
+    serve_cluster,
+    validate_cluster_run,
+)
+from repro.core.bytefs import build_stack
+from repro.faults import (
+    CrashPoint,
+    DeviceCrash,
+    FaultInjector,
+    FaultPlan,
+    OracleFS,
+    check_fault_plan,
+    parse_fault,
+)
+from repro.fs.vfs import O_CREAT, O_RDWR
+from tests.conftest import ALL_FS, SMALL_GEOMETRY
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    HAVE_HYPOTHESIS = False
+
+SCHEDS = ("fifo", "drr", "token-bucket")
+
+#: one crash trigger per kind; ops=9 lands mid-backlog, t=2ms mid-run
+TRIGGERS = {
+    "at-time": dict(at_s=0.002),
+    "after-ops": dict(after_ops=9),
+}
+
+
+def _tenants(n_ops: int = 18) -> list:
+    """Two tenants on device 0: a mixed writer and a light reader."""
+    return [
+        TenantSpec(
+            name="a", workload="mixed", rate_ops_s=4_000.0,
+            slo_ms=5.0, n_ops=n_ops, device=0,
+        ),
+        TenantSpec(
+            name="b", workload="light", rate_ops_s=1_000.0,
+            slo_ms=2.0, n_ops=max(4, n_ops * 2 // 3), device=0,
+        ),
+    ]
+
+
+def _serve(fs_name, sched, crash, seed=42, **kw):
+    return serve_cluster(
+        _tenants(),
+        fs_name=fs_name,
+        n_devices=1,
+        sched=sched,
+        seed=seed,
+        geometry=SMALL_GEOMETRY,
+        queue_depth=2,
+        max_queue=256,
+        faults=[crash] if crash is not None else None,
+        **kw,
+    )
+
+
+def _canonical(result) -> str:
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def _assert_ledger(doc) -> None:
+    for t in doc["tenants"]:
+        assert t["submitted"] == (
+            t["ops"] + t["rejected"] + t["dropped"] + t["lost_to_crash"]
+        ), t
+        assert t["outage_rejected"] <= t["rejected"]
+        assert t["slo_violations_outage"] <= t["slo_violations"]
+
+
+# ---------------------------------------------------------------------- #
+# the faults x scheduling matrix
+# ---------------------------------------------------------------------- #
+
+MATRIX = [
+    (fs, sched, trig)
+    for fs in ALL_FS
+    for sched in SCHEDS
+    for trig in sorted(TRIGGERS)
+]
+
+
+@pytest.mark.parametrize(
+    "fs,sched,trig", MATRIX,
+    ids=[f"{fs}-{sched}-{trig}" for fs, sched, trig in MATRIX],
+)
+def test_crash_recover_matrix(fs, sched, trig):
+    crash = DeviceCrash(0, **TRIGGERS[trig])
+    result = _serve(fs, sched, crash)
+    doc = result.to_json()
+    assert doc["schema"] == SCHEMA
+    assert validate_cluster_run(doc) == []
+    # The planned fault always executes, with a full recovery record.
+    assert len(result.recovery) == 1
+    rec = result.recovery[0]
+    assert rec["oracle"]["clean"], rec["oracle"]["errors"]
+    assert rec["oracle"]["checked"] == ["a", "b"]
+    assert rec["t_up_ns"] >= rec["t_down_ns"]
+    assert rec["virtual_ns"] == rec["t_up_ns"] - rec["t_down_ns"]
+    assert rec["wall_s"] > 0.0  # live record keeps the measured time
+    _assert_ledger(doc)
+    # Byte-determinism across a double run, crash included; wall_s is
+    # nulled in the document so this can hold at all.
+    assert doc["recovery"][0]["wall_s"] is None
+    assert _canonical(_serve(fs, sched, crash)) == _canonical(result)
+
+
+def test_crash_with_torn_write_recovers_clean():
+    crash = DeviceCrash(0, after_ops=7, torn=True)
+    result = _serve("bytefs", "drr", crash)
+    rec = result.recovery[0]
+    assert rec["oracle"]["clean"], rec["oracle"]["errors"]
+    assert rec["trigger"]["torn"] is True
+    fc = result.devices[0]["fault_counters"]
+    assert fc["fault_power_cycles"] == 1
+    # A torn cut needs a tearable in-flight mutation; when one fired,
+    # the counters and the fired record must agree.
+    if rec["fired"] is not None:
+        assert fc["fault_crashes_injected"] == 1
+        if rec["fired"]["torn_bytes"]:
+            assert fc["fault_torn_injected"] == 1
+            assert rec["fired"]["torn_bytes"] < rec["fired"]["nbytes"]
+
+
+def test_per_device_fault_counters_surface_in_result():
+    clean = _serve("bytefs", "fifo", None)
+    assert clean.devices[0]["fault_counters"] == {}
+    faulted = _serve("bytefs", "fifo", DeviceCrash(0, at_s=0.001))
+    fc = faulted.devices[0]["fault_counters"]
+    assert fc["fault_power_cycles"] == 1
+    assert validate_cluster_run(faulted.to_json()) == []
+
+
+def test_unreached_trigger_fires_at_drain():
+    # t=10s is far past the drain of a few-ms run: the crash must still
+    # execute (between ops, nothing in flight) and be oracle-checked.
+    result = _serve("ext4", "fifo", DeviceCrash(0, at_s=10.0))
+    rec = result.recovery[0]
+    assert rec["fired"] is None
+    assert rec["oracle"]["clean"], rec["oracle"]["errors"]
+    assert sum(t.lost_to_crash for t in result.tenants) == 0
+
+
+def test_outage_policies_requeue_vs_reject():
+    crash = DeviceCrash(0, at_s=0.002)
+    requeue = _serve("bytefs", "fifo", crash, outage_policy="requeue")
+    reject = _serve("bytefs", "fifo", crash, outage_policy="reject")
+    doc_rq, doc_rj = requeue.to_json(), reject.to_json()
+    _assert_ledger(doc_rq)
+    _assert_ledger(doc_rj)
+    assert doc_rq["outage_policy"] == "requeue"
+    assert doc_rj["outage_policy"] == "reject"
+    # Requeue never bounces outage arrivals; reject attributes them.
+    assert all(t["outage_rejected"] == 0 for t in doc_rq["tenants"])
+    assert sum(t["outage_rejected"] for t in doc_rj["tenants"]) > 0
+    # Rejected arrivals skip the queue, so reject serves no more ops
+    # than requeue and both verdicts stay clean.
+    assert doc_rj["ops"] <= doc_rq["ops"]
+    assert requeue.recovery[0]["oracle"]["clean"]
+    assert reject.recovery[0]["oracle"]["clean"]
+
+
+def test_outage_attributed_slo_violations():
+    # Requeue makes arrivals wait out the outage: ops overlapping the
+    # window blow their SLO and must be attributed to it.
+    result = _serve("bytefs", "fifo", DeviceCrash(0, at_s=0.002))
+    doc = result.to_json()
+    rec = result.recovery[0]
+    outage = sum(t["slo_violations_outage"] for t in doc["tenants"])
+    assert outage > 0
+    assert rec["virtual_ns"] > 0
+    _assert_ledger(doc)
+
+
+def test_recovery_spans_land_in_trace():
+    result = _serve("bytefs", "drr", DeviceCrash(0, at_s=0.002),
+                    traced=True)
+    tracer = result.trace
+    spans = [
+        s for s in tracer.spans
+        if s.layer == "cluster" and s.op == "recovery"
+    ]
+    assert len(spans) == 1
+    rec = result.recovery[0]
+    assert spans[0].t_start == rec["t_down_ns"]
+    assert spans[0].t_end == rec["t_up_ns"]
+    crashes = [
+        e for e in tracer.events
+        if e.layer == "cluster" and e.name == "crash"
+    ]
+    assert len(crashes) == 1
+    assert crashes[0].t == rec["t_down_ns"]
+    # The lost op's root span is closed as "crashed", not left dangling.
+    if sum(t.lost_to_crash for t in result.tenants):
+        assert any(
+            s.op == "crashed" for s in tracer.spans if s.layer == "cluster"
+        )
+    assert all(s.t_end is not None for s in tracer.spans)
+
+
+# ---------------------------------------------------------------------- #
+# property-based sweep over seeds and triggers (hypothesis)
+# ---------------------------------------------------------------------- #
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        after_ops=st.integers(min_value=0, max_value=24),
+        sched=st.sampled_from(SCHEDS),
+        torn=st.booleans(),
+    )
+    def test_property_any_crash_point_recovers_clean(
+        seed, after_ops, sched, torn
+    ):
+        crash = DeviceCrash(0, after_ops=after_ops, torn=torn)
+        result = _serve("bytefs", sched, crash, seed=seed)
+        doc = result.to_json()
+        assert validate_cluster_run(doc) == []
+        rec = result.recovery[0]
+        assert rec["oracle"]["clean"], rec["oracle"]["errors"]
+        _assert_ledger(doc)
+
+
+# ---------------------------------------------------------------------- #
+# mutation check: a planted recovery bug must turn a matrix cell red
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("fs,sched", [("ext4", "fifo"), ("bytefs", "drr")])
+def test_matrix_catches_planted_recovery_bug(fs, sched, monkeypatch):
+    from repro.fs.extfs import ExtFS
+
+    real_remount = ExtFS.remount
+
+    def buggy_remount(self):
+        # The planted bug: recovery "succeeds" but scribbles over the
+        # head of a durably-synced tenant file — exactly the class of
+        # lost-durable-data bug the oracle exists to catch.
+        out = real_remount(self)
+        victim = "/tn-a/data/f0"
+        if self.exists(victim):
+            fd = self.open(victim, O_RDWR)
+            self.pwrite(fd, 0, b"\x81" * 64)
+            self.close(fd)
+        return out
+
+    monkeypatch.setattr(ExtFS, "remount", buggy_remount)
+    result = _serve(fs, sched, DeviceCrash(0, after_ops=9))
+    rec = result.recovery[0]
+    assert not rec["oracle"]["clean"]
+    assert "a" in rec["oracle"]["errors"]
+    assert any(
+        "durable" in e or "match neither" in e
+        for e in rec["oracle"]["errors"]["a"]
+    )
+    # The document is still schema-valid — red verdicts are data, not
+    # crashes — and clean=False must be reflected there too.
+    doc = result.to_json()
+    assert validate_cluster_run(doc) == []
+    assert doc["recovery"][0]["oracle"]["clean"] is False
+
+
+# ---------------------------------------------------------------------- #
+# fault-plan parsing and validation
+# ---------------------------------------------------------------------- #
+
+def test_parse_fault_round_trips():
+    f = parse_fault("crash:dev1@t=0.5")
+    assert f == DeviceCrash(1, at_s=0.5)
+    assert f.describe() == "crash:dev1@t=0.5"
+    g = parse_fault("crash:dev0@ops=40+torn")
+    assert g == DeviceCrash(0, after_ops=40, torn=True)
+    assert g.describe() == "crash:dev0@ops=40+torn"
+    assert parse_fault(g.describe()) == g
+
+
+@pytest.mark.parametrize("bad", [
+    "crash:dev@t=0.5", "crash:dev1", "crash:dev1@t=", "dev1@t=0.5",
+    "crash:dev1@ops=1.5", "crash:dev1@t=0.5+torn+torn",
+])
+def test_parse_fault_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_fault(bad)
+
+
+def test_device_crash_validates():
+    with pytest.raises(ValueError):
+        DeviceCrash(0)  # no trigger
+    with pytest.raises(ValueError):
+        DeviceCrash(0, at_s=0.1, after_ops=5)  # both triggers
+    with pytest.raises(ValueError):
+        check_fault_plan([DeviceCrash(2, at_s=0.1)], n_devices=2)
+    with pytest.raises(ValueError):
+        check_fault_plan(
+            [DeviceCrash(0, at_s=0.1), DeviceCrash(0, after_ops=3)],
+            n_devices=1,
+        )
+
+
+def test_serve_rejects_unmirrorable_workload_on_faulted_device():
+    tenants = [TenantSpec(name="v", workload="varmail", n_ops=4, device=0)]
+    with pytest.raises(ValueError, match="oracle"):
+        serve_cluster(
+            tenants, fs_name="bytefs", geometry=SMALL_GEOMETRY,
+            faults=[DeviceCrash(0, at_s=0.001)],
+        )
+    # The same workload is fine when no fault targets its device.
+    result = serve_cluster(
+        tenants, fs_name="bytefs", geometry=SMALL_GEOMETRY,
+    )
+    assert result.tenant("v").ops > 0
+
+
+def test_serve_rejects_unknown_outage_policy():
+    with pytest.raises(ValueError, match="outage policy"):
+        _serve("bytefs", "fifo", None, outage_policy="panic")
+
+
+# ---------------------------------------------------------------------- #
+# repro.host.mmap: crash during msync, checked against the oracle
+# ---------------------------------------------------------------------- #
+
+MMAP_FS = ("bytefs", "ext4")
+
+
+def _mmap_stack(fs_name):
+    injector = FaultInjector()
+    _clock, _stats, device, fs = build_stack(
+        fs_name, geometry=SMALL_GEOMETRY, faults=injector
+    )
+    oracle = OracleFS()
+    base = b"a" * 8192
+    fd = fs.open("/m", O_CREAT | O_RDWR)
+    fs.write(fd, base)
+    fs.fsync(fd)
+    oracle.observe(("create", "/m"))
+    oracle.observe(("write", "/m", 0, base))
+    oracle.observe(("fsync", "/m"))
+    region = fs.mmap(fd)
+    # Two dirty stores on different pages, 64 B-aligned so the oracle's
+    # fragment-atomicity rule applies exactly.
+    region.store(128, b"B" * 64)
+    region.store(4096, b"C" * 64)
+    oracle.observe(("write", "/m", 128, b"B" * 64))
+    oracle.observe(("write", "/m", 4096, b"C" * 64))
+    return injector, device, fs, region, oracle
+
+
+def _count_msync_sites(fs_name) -> int:
+    injector, _device, _fs, region, _oracle = _mmap_stack(fs_name)
+    injector.start_count()
+    region.msync()
+    injector.disarm()
+    return injector.n_sites
+
+
+@pytest.mark.parametrize("fs_name", MMAP_FS)
+def test_msync_reaches_crash_sites(fs_name):
+    assert _count_msync_sites(fs_name) > 0
+
+
+@pytest.mark.parametrize("fs_name", MMAP_FS)
+def test_crash_during_msync_is_oracle_admissible(fs_name, request):
+    n_sites = _count_msync_sites(fs_name)
+    cap = request.config.getoption("--max-sites") or 8
+    step = max(1, n_sites // cap)
+    for site in range(0, n_sites, step):
+        injector, device, fs, region, oracle = _mmap_stack(fs_name)
+        injector.arm(FaultPlan(site, torn=True, seed=site))
+        try:
+            region.msync()
+            oracle.observe(("fsync", "/m"))
+        except CrashPoint:
+            # msync never acked: stores stay pending, durability of the
+            # pre-crash fsync image is still required.
+            oracle.observe(("fsync", "/m"), completed=False)
+        injector.disarm()
+        device.power_fail()
+        fs.crash()
+        fs.remount()
+        errors = oracle.check(fs)
+        assert errors == [], f"{fs_name} site {site}: {errors}"
+
+
+@pytest.mark.parametrize("fs_name", MMAP_FS)
+def test_msync_completion_is_durable(fs_name):
+    injector, device, fs, region, oracle = _mmap_stack(fs_name)
+    region.msync()
+    oracle.observe(("fsync", "/m"))
+    region.close()
+    device.power_fail()
+    fs.crash()
+    fs.remount()
+    assert oracle.check(fs) == []
+    fd = fs.open("/m", O_RDWR)
+    assert fs.pread(fd, 128, 64) == b"B" * 64
+    assert fs.pread(fd, 4096, 64) == b"C" * 64

@@ -180,6 +180,29 @@ def test_queue_accounting_trips_on_negative_counter():
             fssan.check_queue_accounting("t", 4, 5, -1, 0, 0)
 
 
+def test_queue_accounting_balances_with_lost_to_crash():
+    # 10 submitted = 5 served + 2 pending + 1 rejected + 1 dropped
+    # + 1 lost to a device crash: the one legitimate disappearance.
+    with fssan.sanitized():
+        fssan.check_queue_accounting("t", 10, 5, 2, 1, 1, lost_to_crash=1)
+    assert fssan.COUNTS.get(fssan.QUEUE, 0) >= 1
+
+
+def test_queue_accounting_trips_when_crash_losses_unaccounted():
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError) as exc:
+            fssan.check_queue_accounting("t", 10, 5, 2, 1, 1)
+    assert exc.value.invariant == fssan.QUEUE
+    assert "lost_to_crash" in str(exc.value)
+
+
+def test_queue_accounting_trips_on_negative_lost_to_crash():
+    with fssan.sanitized():
+        with pytest.raises(fssan.SanitizerError):
+            fssan.check_queue_accounting("t", 4, 4, 0, 0, 0,
+                                         lost_to_crash=-1)
+
+
 def test_counts_attribute_checks_to_the_right_class():
     pm = PageMap()
     with fssan.sanitized():

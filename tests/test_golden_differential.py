@@ -27,6 +27,8 @@ from pathlib import Path
 import pytest
 
 from repro.bench.harness import run_workload
+from repro.cluster import TenantSpec, serve_cluster
+from repro.faults import DeviceCrash
 from repro.workloads import (
     Fileserver,
     MicroCreate,
@@ -41,6 +43,7 @@ from repro.workloads import (
 from tests.conftest import ALL_FS, SMALL_GEOMETRY
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "run_results.json"
+CLUSTER_GOLDEN_PATH = Path(__file__).parent / "golden" / "cluster_run.json"
 
 #: Every figure workload at smoke scale (fresh instance per run:
 #: setup mutates workload state).  Scales mirror tests/benchmarks.
@@ -102,3 +105,66 @@ def test_run_result_byte_identical(golden, fs, wl):
 def test_same_seed_double_run_identical(fs):
     """Two fresh same-seed runs serialize identically for every fs."""
     assert _canonical(fs, "varmail") == _canonical(fs, "varmail")
+
+
+# ---------------------------------------------------------------------- #
+# cluster runs: the repro.cluster.run/v2 document pinned byte-for-byte
+# ---------------------------------------------------------------------- #
+
+def _cluster_tenants():
+    return [
+        TenantSpec(name="a", workload="mixed", rate_ops_s=4_000.0,
+                   slo_ms=5.0, n_ops=18, device=0),
+        TenantSpec(name="b", workload="light", rate_ops_s=1_000.0,
+                   slo_ms=2.0, n_ops=12, device=1),
+        TenantSpec(name="c", workload="mixed", rate_ops_s=2_000.0,
+                   slo_ms=4.0, n_ops=14, device=0),
+    ]
+
+
+#: Pinned cluster scenarios: a plain multi-device DRR serve, and the
+#: same cluster with a mid-run crash-and-recover on device 0.
+CLUSTER_SCENARIOS = {
+    "drr-plain": dict(sched="drr"),
+    "drr-crash-dev0": dict(sched="drr",
+                           faults=[DeviceCrash(0, after_ops=9)]),
+}
+
+
+def _cluster_canonical(name: str) -> str:
+    result = serve_cluster(
+        _cluster_tenants(), fs_name="bytefs", n_devices=2, seed=42,
+        geometry=SMALL_GEOMETRY, queue_depth=2, max_queue=256,
+        **CLUSTER_SCENARIOS[name],
+    )
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def cluster_golden(request):
+    if request.config.getoption("--update-golden"):
+        data = {name: _cluster_canonical(name) for name in CLUSTER_SCENARIOS}
+        CLUSTER_GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        CLUSTER_GOLDEN_PATH.write_text(
+            json.dumps(data, sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+    if not CLUSTER_GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{CLUSTER_GOLDEN_PATH} missing; generate it with "
+            "--update-golden"
+        )
+    return json.loads(CLUSTER_GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTER_SCENARIOS))
+def test_cluster_run_byte_identical(cluster_golden, name):
+    assert name in cluster_golden, (
+        f"no golden entry for {name}; regenerate with --update-golden"
+    )
+    assert _cluster_canonical(name) == cluster_golden[name], (
+        f"{name}: ClusterRunResult.to_json() drifted from the golden "
+        "fixture — a scheduling/fault/recovery change altered the "
+        "serve-path performance model; recalibrate deliberately with "
+        "--update-golden, never to make a red change pass"
+    )
