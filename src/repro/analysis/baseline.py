@@ -1,0 +1,77 @@
+"""Lint baselines: grandfather known findings, fail only on new ones.
+
+``repro lint --baseline lint-baseline.json`` loads the committed
+baseline, moves findings that match it into ``result.grandfathered``
+(tracked but not failing), and leaves only *new* findings to drive the
+exit code — so CI gates on regressions while pre-existing debt is
+visible and versioned.  ``--update-baseline`` rewrites the file from
+the current findings.
+
+Findings are matched by ``(rule, path, line, message)``.  Line numbers
+make the match deliberately strict: editing near a grandfathered
+finding re-surfaces it, which is the moment to fix it or re-baseline
+consciously.  Paths are repo-relative (see ``linter._display``), so the
+same baseline matches locally and in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA = "repro.lint.baseline/v1"
+
+Key = Tuple[str, str, int, str]
+
+
+def finding_key(f: Finding) -> Key:
+    return (f.rule, f.path, f.line, f.message)
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """Deterministic baseline document for the given findings."""
+    entries = sorted(
+        (f.to_dict() for f in findings),
+        key=lambda d: (d["path"], d["line"], d["col"], d["rule"],
+                       d["message"]),
+    )
+    return json.dumps(
+        {"schema": BASELINE_SCHEMA, "findings": entries}, indent=2
+    ) + "\n"
+
+
+def load_baseline(path: Path) -> Set[Key]:
+    """Parse a baseline file into a set of match keys."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}")
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    keys: Set[Key] = set()
+    for entry in doc.get("findings", []):
+        try:
+            keys.add((
+                entry["rule"], entry["path"], int(entry["line"]),
+                entry["message"],
+            ))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: malformed baseline entry: {exc}")
+    return keys
+
+
+def apply_baseline(result, keys: Set[Key]) -> None:
+    """Split ``result.findings`` into new vs. grandfathered in place."""
+    fresh: List[Finding] = []
+    for f in result.findings:
+        if finding_key(f) in keys:
+            result.grandfathered.append(f)
+        else:
+            fresh.append(f)
+    result.findings = fresh

@@ -1,5 +1,5 @@
-"""CS001: device-visible mutations must be reachable only through the
-fault injector's crash-site registration.
+"""CS001/CS002: device-visible mutations must be reachable only through
+the fault injector's crash-site registration.
 
 The crash-consistency sweep (docs/FAULTS.md) enumerates numbered sites
 by replaying the workload; a mutation primitive that executes on a path
@@ -7,9 +7,9 @@ with no ``faults.site(...)`` / ``faults.point(...)`` upstream is
 invisible to the sweep — the oracle can never schedule a crash there,
 so torn/lost-write bugs on that path are silently untested.
 
-The pass is an over-approximating reachability analysis on a name-keyed
+Both rules run on the shared :class:`repro.analysis.project.ProjectIndex`
 call graph, restricted to the device stack (``repro.ssd``, ``repro.ftl``,
-``repro.nand``):
+``repro.nand``, ``repro.cluster``):
 
 * A function is *directly guarded* (G0) when its body calls
   ``*.faults.site(...)`` or ``*.faults.point(...)``, or when it is a
@@ -21,22 +21,33 @@ call graph, restricted to the device stack (``repro.ssd``, ``repro.ftl``,
   least one unguarded caller.  (Universal quantification over callers is
   what catches a primitive reachable from an unregistered entry path
   even when the same helper is also called from a guarded one.)
-* ``# repro: allow[CS001]`` on the ``def`` line exempts the whole
-  function and treats it as guarded for propagation — recovery code is
-  the intended use, since sweeps disarm the injector before recovery.
+* Calls are resolved by bare name (the final attribute), so the
+  analysis is conservative and method-receiver-agnostic — except where
+  the index recorded a receiver-type hint (``x = ClassName(...);
+  x.m()``): that edge targets only ``ClassName``'s own method, so a
+  guarded driver of one class no longer poisons every same-named method
+  in the stack.
+* ``# repro: allow[CS001]`` on the ``def`` header (decorators and
+  multi-line signatures included) exempts the whole function and treats
+  it as guarded for propagation — recovery code is the intended use,
+  since sweeps disarm the injector before recovery.
 
-Calls are resolved by bare name (the final attribute), so the analysis
-is deliberately conservative and method-receiver-agnostic; suppression
-comments are the escape hatch for collisions.
+**CS001** flags each unguarded mutation call site.  **CS002** reports
+*how* the site is reached: a minimal unguarded call chain from an entry
+function (an unguarded function nobody in the stack calls) down to the
+mutation, which is what you have to guard to fix it.  The same analysis
+also produces the crash-site coverage map (``repro lint
+--coverage-out``): per mutation primitive, every call site with its
+guarded/unguarded verdict plus the unguarded chains, as a
+``repro.lint.coverage/v1`` document the crash sweep can assert against.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
-from repro.analysis.suppress import is_suppressed
+from repro.analysis.project import FunctionInfo, ProjectIndex
 
 #: Module prefixes that constitute the simulated device stack.  The
 #: serving layer (repro.cluster) sits at the host->device boundary but
@@ -60,150 +71,196 @@ MUTATION_PRIMITIVES = {
 }
 
 RULE = "CS001"
+CHAIN_RULE = "CS002"
+
+COVERAGE_SCHEMA = "repro.lint.coverage/v1"
 
 
-class _Context:
-    """One function definition (module top level is also a context)."""
-
-    def __init__(self, name: str, qualname: str, module, node) -> None:
-        self.name = name
-        self.qualname = qualname
-        self.module = module
-        self.node = node
-        self.guarded0 = False       # body registers a site/point
-        self.exempt = False         # allow[CS001] on the def line
-        # (name, line, col, is_method) — bare-name calls still feed the
-        # call graph but are never flagged as primitives: mutation
-        # primitives are methods on device objects, and bare names would
-        # collide with e.g. dataclasses.replace().
-        self.calls: List[Tuple[str, int, int, bool]] = []
-        self.children: Dict[str, "_Context"] = {}
-
-
-def _call_name(func: ast.AST) -> Optional[str]:
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
-
-
-def _is_faults_call(node: ast.Call) -> bool:
-    """Match ``<anything>.faults.site(...)`` / ``.point(...)`` and bare
-    ``faults.site(...)``."""
-    func = node.func
-    if not isinstance(func, ast.Attribute) or func.attr not in ("site", "point"):
-        return False
-    recv = func.value
-    if isinstance(recv, ast.Attribute):
-        return recv.attr == "faults"
-    if isinstance(recv, ast.Name):
-        return recv.id == "faults"
-    return False
-
-
-def _collect_contexts(module) -> List[_Context]:
-    """Walk one module, building a context per function definition."""
-    contexts: List[_Context] = []
-
-    def walk(node: ast.AST, ctx: _Context, qual: str) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                sub = _Context(
-                    child.name, f"{qual}{child.name}", module, child
-                )
-                sub.exempt = is_suppressed(
-                    module.suppress, child.lineno, RULE
-                )
-                ctx.children[child.name] = sub
-                contexts.append(sub)
-                walk(child, sub, f"{qual}{child.name}.")
-            elif isinstance(child, ast.ClassDef):
-                walk(child, ctx, f"{qual}{child.name}.")
-            else:
-                scan_node(child, ctx)
-                walk(child, ctx, qual)
-
-    def scan_node(node: ast.AST, ctx: _Context) -> None:
-        if isinstance(node, ast.Call):
-            if _is_faults_call(node):
-                ctx.guarded0 = True
-                if node.func.attr == "site":
-                    # The apply-callback passed to site() runs inside the
-                    # registration: mark the nested def it names as G0.
-                    for arg in node.args:
-                        if isinstance(arg, ast.Name) and arg.id in ctx.children:
-                            ctx.children[arg.id].guarded0 = True
-            else:
-                name = _call_name(node.func)
-                if name is not None:
-                    ctx.calls.append((
-                        name, node.lineno, node.col_offset,
-                        isinstance(node.func, ast.Attribute),
-                    ))
-
-    root = _Context("<module>", f"{module.name}:<module>", module, module.tree)
-    contexts.append(root)
-    walk(module.tree, root, "")
-
-    # A site() call may name a nested def *after* the statement where the
-    # def appears was walked; a second pass resolves late registrations.
-    for ctx in contexts:
-        for node in ast.walk(ctx.node):
-            if isinstance(node, ast.Call) and _is_faults_call(node) \
-                    and node.func.attr == "site":
-                for arg in node.args:
-                    if isinstance(arg, ast.Name) and arg.id in ctx.children:
-                        ctx.children[arg.id].guarded0 = True
-    return contexts
-
-
-def check_crash_sites(modules) -> List[Finding]:
-    """Run CS001 over every stack module in ``modules`` together."""
-    stack = [
-        m for m in modules
+def _stack_contexts(index: ProjectIndex) -> List[FunctionInfo]:
+    out: List[FunctionInfo] = []
+    for mod in index.modules:
         if any(
-            m.name == p or m.name.startswith(p + ".")
+            mod.name == p or mod.name.startswith(p + ".")
             for p in STACK_PREFIXES
-        )
-    ]
-    if not stack:
-        return []
+        ):
+            out.extend(index.functions_by_module[mod.name])
+    return out
 
-    contexts: List[_Context] = []
-    for mod in stack:
-        contexts.extend(_collect_contexts(mod))
 
-    callers_of: Dict[str, Set[int]] = {}
-    for i, ctx in enumerate(contexts):
-        for name, _line, _col, _attr in ctx.calls:
-            callers_of.setdefault(name, set()).add(i)
+class _Graph:
+    """Caller edges over the stack subset, with receiver-hint routing."""
 
-    # Greatest fixed point: optimistically everything is guarded, then
-    # demote until stable.  Demotion is monotone, so this terminates.
+    def __init__(self, index: ProjectIndex,
+                 contexts: List[FunctionInfo]) -> None:
+        self.index = index
+        self.contexts = contexts
+        self.pos = {id(c): i for i, c in enumerate(contexts)}
+        # name -> caller indices for untargeted calls; (class, name) ->
+        # caller indices for receiver-hinted calls that resolve to a
+        # known method.
+        self.by_name: Dict[str, Set[int]] = {}
+        self.by_class: Dict[Tuple[str, str], Set[int]] = {}
+        self.ctxs_named: Dict[str, List[int]] = {}
+        for i, ctx in enumerate(contexts):
+            self.ctxs_named.setdefault(ctx.name, []).append(i)
+            for call in ctx.calls:
+                if call.recv_class is not None \
+                        and index.has_method(call.recv_class, call.name):
+                    self.by_class.setdefault(
+                        (call.recv_class, call.name), set()
+                    ).add(i)
+                else:
+                    self.by_name.setdefault(call.name, set()).add(i)
+
+    def callers_of(self, ctx: FunctionInfo) -> Set[int]:
+        found = set(self.by_name.get(ctx.name, ()))
+        if ctx.class_name is not None:
+            found |= self.by_class.get((ctx.class_name, ctx.name), set())
+        return found
+
+    def callees_of(self, i: int) -> Set[int]:
+        """Indices a call from context ``i`` may land on (stack only)."""
+        out: Set[int] = set()
+        for call in self.contexts[i].calls:
+            targeted = call.recv_class is not None \
+                and self.index.has_method(call.recv_class, call.name)
+            for j in self.ctxs_named.get(call.name, ()):
+                ctx = self.contexts[j]
+                if targeted and ctx.class_name != call.recv_class:
+                    continue
+                out.add(j)
+        return out
+
+
+def _fixed_point(graph: _Graph) -> List[bool]:
+    """Greatest fixed point: optimistically everything is guarded, then
+    demote until stable.  Demotion is monotone, so this terminates."""
+    contexts = graph.contexts
     guarded = [True] * len(contexts)
     changed = True
     while changed:
         changed = False
         for i, ctx in enumerate(contexts):
-            if not guarded[i] or ctx.guarded0 or ctx.exempt:
+            if not guarded[i] or ctx.guarded0 or ctx.is_exempt(RULE):
                 continue
-            callers = callers_of.get(ctx.name, ())
+            callers = graph.callers_of(ctx)
             if not callers or any(not guarded[j] for j in callers):
                 guarded[i] = False
                 changed = True
+    return guarded
 
-    findings: List[Finding] = []
+
+def _entry_chains(graph: _Graph, guarded: List[bool]) -> Dict[int, List[int]]:
+    """Minimal unguarded chain (entry -> ... -> ctx) per unguarded
+    context, by multi-source BFS from the entry set (unguarded contexts
+    with no in-stack callers).  Contexts only reachable through cycles
+    fall back to a chain of just themselves."""
+    contexts = graph.contexts
+    entries = [
+        i for i, ctx in enumerate(contexts)
+        if not guarded[i] and not ctx.is_exempt(RULE)
+        and not graph.callers_of(ctx)
+    ]
+    parent: Dict[int, Optional[int]] = {i: None for i in entries}
+    frontier = list(entries)
+    while frontier:
+        nxt: List[int] = []
+        for i in frontier:
+            for j in sorted(graph.callees_of(i)):
+                if guarded[j] or j in parent:
+                    continue
+                parent[j] = i
+                nxt.append(j)
+        frontier = nxt
+
+    chains: Dict[int, List[int]] = {}
     for i, ctx in enumerate(contexts):
-        if guarded[i] or ctx.exempt:
+        if guarded[i] or ctx.is_exempt(RULE):
             continue
-        for name, line, col, is_method in ctx.calls:
-            if is_method and name in MUTATION_PRIMITIVES:
-                findings.append(Finding(
-                    RULE, ctx.module.display, line, col,
-                    f"device mutation .{name}() reachable via "
-                    f"{ctx.qualname}() without a crash-site registration; "
-                    "wrap the path in faults.site()/faults.point() or mark "
-                    "the def with `# repro: allow[CS001]`",
+        if i in parent:
+            chain = [i]
+            while parent[chain[0]] is not None:
+                chain.insert(0, parent[chain[0]])
+            chains[i] = chain
+        else:
+            chains[i] = [i]
+    return chains
+
+
+def analyze_crash_sites(
+    index: ProjectIndex,
+) -> Tuple[List[Finding], List[Finding], dict]:
+    """Run the crash-site reachability analysis once.
+
+    Returns ``(cs001 findings, cs002 findings, coverage map)``.
+    """
+    contexts = _stack_contexts(index)
+    if not contexts:
+        return [], [], {"schema": COVERAGE_SCHEMA, "primitives": {}}
+
+    graph = _Graph(index, contexts)
+    guarded = _fixed_point(graph)
+    chains = _entry_chains(graph, guarded)
+
+    cs001: List[Finding] = []
+    cs002: List[Finding] = []
+    coverage: Dict[str, dict] = {}
+
+    for i, ctx in enumerate(contexts):
+        exempt = ctx.is_exempt(RULE)
+        chain_exempt = exempt or ctx.is_exempt(CHAIN_RULE)
+        seen_prims: Set[str] = set()
+        for call in ctx.calls:
+            if not call.is_method or call.name not in MUTATION_PRIMITIVES:
+                continue
+            entry = coverage.setdefault(
+                call.name, {"guarded_sites": [], "unguarded": []}
+            )
+            site = {
+                "path": ctx.module.display,
+                "line": call.line,
+                "qualname": ctx.qualname,
+            }
+            if guarded[i] or exempt:
+                entry["guarded_sites"].append(
+                    dict(site, exempt=bool(exempt and not guarded[i]))
+                )
+                continue
+            chain = chains.get(i, [i])
+            chain_quals = [contexts[j].qualname for j in chain]
+            entry["unguarded"].append(dict(site, chain=chain_quals))
+            cs001.append(Finding(
+                RULE, ctx.module.display, call.line, call.col,
+                f"device mutation .{call.name}() reachable via "
+                f"{ctx.qualname}() without a crash-site registration; "
+                "wrap the path in faults.site()/faults.point() or mark "
+                "the def with `# repro: allow[CS001]`",
+            ))
+            if not chain_exempt and call.name not in seen_prims:
+                seen_prims.add(call.name)
+                rendered = " -> ".join(f"{q}()" for q in chain_quals)
+                cs002.append(Finding(
+                    CHAIN_RULE, ctx.module.display, call.line, call.col,
+                    f"unguarded call path {rendered} reaches "
+                    f".{call.name}(); register a crash site on the entry "
+                    f"function {chain_quals[0]}() to make the whole path "
+                    "sweepable",
                 ))
-    return findings
+
+    for entry in coverage.values():
+        entry["guarded_sites"].sort(
+            key=lambda s: (s["path"], s["line"], s["qualname"])
+        )
+        entry["unguarded"].sort(
+            key=lambda s: (s["path"], s["line"], s["qualname"])
+        )
+    cov_doc = {
+        "schema": COVERAGE_SCHEMA,
+        "primitives": {k: coverage[k] for k in sorted(coverage)},
+    }
+    return cs001, cs002, cov_doc
+
+
+def check_crash_sites(index: ProjectIndex) -> List[Finding]:
+    """CS001 only (kept for callers that don't need chains/coverage)."""
+    return analyze_crash_sites(index)[0]

@@ -11,6 +11,26 @@ RULES: Dict[str, str] = {
         "device-visible mutation not routed through a registered "
         "fault-injector crash site"
     ),
+    "CS002": (
+        "minimal unguarded call path from an entry function down to a "
+        "device mutation primitive"
+    ),
+    "CONC001": (
+        "module-level mutable state mutated on a path reachable from "
+        "the serve path; diverges across shard worker processes"
+    ),
+    "CONC002": (
+        "object state aliasing across shard boundaries (class-level "
+        "mutable container attribute or mutable default argument)"
+    ),
+    "CONC003": (
+        "result-merge order depends on dict/set iteration over a "
+        "per-shard partition"
+    ),
+    "SCH001": (
+        "result schema drift: key emitted by a to_*() builder but never "
+        "validated, or required by a validator but never emitted"
+    ),
     "DET001": "wall-clock access outside repro.sim.clock",
     "DET002": "ambient randomness outside repro.sim.rng",
     "DET003": "iteration over an unordered set",

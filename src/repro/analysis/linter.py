@@ -5,12 +5,18 @@ Usage from the CLI::
     repro lint                 # lint the installed repro package
     repro lint src/repro/fs    # lint a subtree
     repro lint --format=json   # machine-readable output (CI)
+    repro lint --format=sarif  # SARIF 2.1.0 (code-scanning upload)
 
 Module dotted names are derived from the last path component named
 ``repro`` (``.../src/repro/fs/vfs.py`` → ``repro.fs.vfs``), which is how
 the passes decide layer membership and exemptions.  Files with no
 ``repro`` ancestor get a name from their bare stem and are still linted
 by the path-independent rules.
+
+Every run builds one :class:`repro.analysis.project.ProjectIndex` over
+the loaded modules; the per-module passes (DET/LAY/PERF) walk each tree
+independently while the whole-program passes (CS001/CS002, CONC001-003,
+SCH001) share the index's call graph and import closure.
 """
 
 from __future__ import annotations
@@ -19,9 +25,14 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.crashsites import check_crash_sites
+from repro.analysis.concurrency import (
+    check_global_state,
+    check_merge_order,
+    check_shard_aliasing,
+)
+from repro.analysis.crashsites import analyze_crash_sites
 from repro.analysis.determinism import (
     check_ambient_random,
     check_set_iteration,
@@ -30,7 +41,14 @@ from repro.analysis.determinism import (
 from repro.analysis.findings import RULES, Finding
 from repro.analysis.layering import check_layering
 from repro.analysis.perfpass import check_per_page_loops
+from repro.analysis.project import ProjectIndex, build_index
+from repro.analysis.schema_drift import check_schema_drift
 from repro.analysis.suppress import is_suppressed, suppression_map
+
+#: Directory markers that identify the repository root; finding paths
+#: are emitted relative to it so baselines and SARIF output are stable
+#: no matter where the linter was invoked from.
+_ROOT_MARKERS = (".git", "pyproject.toml", "setup.cfg")
 
 
 @dataclass
@@ -47,6 +65,10 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     n_files: int = 0
+    #: Findings matched by a ``--baseline`` file: tracked, not failing.
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: repro.lint.coverage/v1 document (when CS001/CS002 ran).
+    coverage: Optional[dict] = None
 
     @property
     def exit_code(self) -> int:
@@ -87,7 +109,19 @@ def iter_py_files(paths: Sequence[Path]) -> List[Path]:
     return uniq
 
 
+def _repo_root_for(path: Path) -> Optional[Path]:
+    for anc in path.resolve().parents:
+        if any((anc / marker).exists() for marker in _ROOT_MARKERS):
+            return anc
+    return None
+
+
 def _display(path: Path) -> str:
+    """Repo-relative posix path when a repository root is found above
+    the file; cwd-relative otherwise (loose files, tmp fixtures)."""
+    root = _repo_root_for(path)
+    if root is not None:
+        return path.resolve().relative_to(root).as_posix()
     try:
         return str(path.relative_to(Path.cwd()))
     except ValueError:
@@ -95,7 +129,7 @@ def _display(path: Path) -> str:
 
 
 def load_modules(
-    paths: Sequence[Path],
+    paths: Sequence[Path], honor_suppressions: bool = True,
 ) -> Tuple[List[ModuleInfo], List[str]]:
     modules: List[ModuleInfo] = []
     errors: List[str] = []
@@ -112,12 +146,15 @@ def load_modules(
             display=display,
             name=module_name_for(path),
             tree=tree,
-            suppress=suppression_map(source.splitlines()),
+            suppress=(
+                suppression_map(source.splitlines())
+                if honor_suppressions else {}
+            ),
         ))
     return modules, errors
 
 
-#: Per-module passes; CS001 is whole-program and runs separately.
+#: Per-module passes; the whole-program passes run on the shared index.
 _MODULE_PASSES = (
     ("DET001", check_wall_clock),
     ("DET002", check_ambient_random),
@@ -126,9 +163,18 @@ _MODULE_PASSES = (
     ("PERF001", check_per_page_loops),
 )
 
+#: Whole-program passes taking the ProjectIndex (CS001/CS002 are run
+#: together through analyze_crash_sites and handled separately).
+_PROJECT_PASSES = (
+    ("CONC001", check_global_state),
+    ("CONC002", check_shard_aliasing),
+    ("CONC003", check_merge_order),
+)
+
 
 def lint_paths(
     paths: Sequence[Path], rules: Sequence[str] = (),
+    honor_suppressions: bool = True,
 ) -> LintResult:
     """Run the requested rule set (all rules when empty) over ``paths``."""
     wanted = set(rules) if rules else set(RULES)
@@ -136,8 +182,9 @@ def lint_paths(
     if unknown:
         raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
 
-    modules, errors = load_modules(paths)
+    modules, errors = load_modules(paths, honor_suppressions)
     result = LintResult(errors=errors, n_files=len(modules))
+    index: ProjectIndex = build_index(modules)
 
     supp_by_display = {m.display: m.suppress for m in modules}
     raw: List[Finding] = []
@@ -145,14 +192,26 @@ def lint_paths(
         for rule, check in _MODULE_PASSES:
             if rule in wanted:
                 raw.extend(check(mod))
-    if "CS001" in wanted:
-        raw.extend(check_crash_sites(modules))
+    if wanted & {"CS001", "CS002"}:
+        cs001, cs002, coverage = analyze_crash_sites(index)
+        result.coverage = coverage
+        if "CS001" in wanted:
+            raw.extend(cs001)
+        if "CS002" in wanted:
+            raw.extend(cs002)
+    for rule, check in _PROJECT_PASSES:
+        if rule in wanted:
+            raw.extend(check(index))
+    if "SCH001" in wanted:
+        raw.extend(check_schema_drift(index))
 
     for f in raw:
         supp = supp_by_display.get(f.path, {})
         if not is_suppressed(supp, f.line, f.rule):
             result.findings.append(f)
-    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.findings.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+    )
     return result
 
 
@@ -160,17 +219,21 @@ def render_text(result: LintResult) -> str:
     lines = [f.format() for f in result.findings]
     lines.extend(f"error: {e}" for e in result.errors)
     n = len(result.findings)
-    lines.append(
+    summary = (
         f"{n} finding{'s' if n != 1 else ''} in {result.n_files} files"
-        + (f" ({len(result.errors)} files failed to parse)"
-           if result.errors else "")
     )
+    if result.grandfathered:
+        summary += f" ({len(result.grandfathered)} baselined)"
+    if result.errors:
+        summary += f" ({len(result.errors)} files failed to parse)"
+    lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
     return json.dumps({
         "findings": [f.to_dict() for f in result.findings],
+        "grandfathered": [f.to_dict() for f in result.grandfathered],
         "errors": result.errors,
         "n_files": result.n_files,
         "exit_code": result.exit_code,

@@ -1,0 +1,58 @@
+"""SARIF 2.1.0 output for ``repro lint --format=sarif``.
+
+A minimal, valid static-analysis results interchange document: one run,
+one driver (``repro-lint``), rule metadata from the registry, and one
+result per finding with a physical location.  GitHub code scanning and
+every SARIF viewer accept this shape; the required fields are pinned by
+a schema test in tests/test_whole_program_lint.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def render_sarif(result) -> str:
+    """Render a LintResult as a SARIF 2.1.0 document (deterministic)."""
+    rules = [
+        {"id": rid, "shortDescription": {"text": RULES[rid]}}
+        for rid in sorted(RULES)
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(f.path)},
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        for f in result.findings
+    ]
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

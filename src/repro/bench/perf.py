@@ -312,6 +312,20 @@ def validate_simspeed(doc: Dict) -> List[str]:
             if not isinstance(agg.get(key), (int, float)) \
                     or isinstance(agg.get(key), bool):
                 problems.append(f"aggregate.{key} must be a number")
+    base = doc.get("baseline")
+    if base is not None:
+        # optional section, present when the run was given --baseline
+        if not isinstance(base, dict):
+            problems.append("baseline must be an object or absent")
+        else:
+            for key in ("ops_per_wall_s", "speedup"):
+                v = base.get(key)
+                if v is not None and (
+                    not isinstance(v, (int, float)) or isinstance(v, bool)
+                ):
+                    problems.append(
+                        f"baseline.{key} must be a number or null"
+                    )
     return problems
 
 

@@ -209,6 +209,20 @@ _RECOVERY_NUM_FIELDS = ("t_down_ns", "t_up_ns", "virtual_ns")
 _LATENCY_KEYS = ("count", "mean", "p50", "p95", "p99")
 
 
+def _check_num_or_null(
+    obj: Dict, key: str, where: str, problems: List[str],
+) -> None:
+    """Derived rates may serialize as null (inf/NaN via ``_num``)."""
+    if key not in obj:
+        problems.append(f"{where} missing {key!r}")
+        return
+    v = obj[key]
+    if v is not None and (
+        not isinstance(v, (int, float)) or isinstance(v, bool)
+    ):
+        problems.append(f"{where}.{key} must be a number or null")
+
+
 def _check_latency(lat: Dict, where: str, problems: List[str]) -> None:
     for op, summary in lat.items():
         if not isinstance(summary, dict):
@@ -284,6 +298,7 @@ def validate_cluster_run(doc: Dict) -> List[str]:
             problems.append(f"missing {key!r}")
         elif not isinstance(doc[key], typ) or isinstance(doc[key], bool):
             problems.append(f"{key} has wrong type")
+    _check_num_or_null(doc, "throughput_ops_s", "$", problems)
     if isinstance(doc.get("latency"), dict):
         _check_latency(doc["latency"], "$", problems)
     tenants = doc.get("tenants")
@@ -299,6 +314,12 @@ def validate_cluster_run(doc: Dict) -> List[str]:
                     problems.append(f"tenants[{i}] missing {key!r}")
                 elif not isinstance(t[key], typ) or isinstance(t[key], bool):
                     problems.append(f"tenants[{i}].{key} has wrong type")
+            _check_num_or_null(
+                t, "throughput_ops_s", f"tenants[{i}]", problems
+            )
+            _check_num_or_null(
+                t, "write_amplification", f"tenants[{i}]", problems
+            )
             if isinstance(t.get("latency"), dict):
                 _check_latency(t["latency"], f"tenants[{i}]", problems)
             if isinstance(t.get("spec"), dict) and "name" not in t["spec"]:

@@ -284,7 +284,10 @@ def dentry_record_size(name_len: int) -> int:
     return DENTRY_HEADER + -(-name_len // DENTRY_ALIGN) * DENTRY_ALIGN
 
 
-_DENTRY_CACHE: dict = {}
+# Pure memo cache: the value is a function of the key alone, so
+# per-process copies diverging across shard workers can never change
+# the encoded bytes — safe to keep module-level.
+_DENTRY_CACHE: dict = {}  # repro: allow[CONC001]
 
 
 def encode_dentry(ino: int, ftype: int, name: str) -> bytes:

@@ -166,6 +166,21 @@ def validate_chrome(doc) -> List[str]:
         lane = ev.get("tid")
         if lane not in (LANE_SYNC, LANE_BACKGROUND):
             problems.append(f"event {i}: tid (lane) must be 0 or 1")
+        if "cat" in ev and not isinstance(ev["cat"], str):
+            problems.append(f"event {i}: cat must be a string")
+        args = ev.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                problems.append(f"event {i}: args must be an object")
+            elif "waits" in args and not isinstance(args["waits"], dict):
+                problems.append(f"event {i}: args.waits must be an object")
+        if "s" in ev and ev["s"] not in ("t", "p", "g"):
+            problems.append(
+                f"event {i}: instant scope 's' must be 't', 'p' or 'g'"
+            )
+    other = doc.get("otherData")
+    if other is not None and not isinstance(other, dict):
+        problems.append("otherData must be an object")
     return problems
 
 
@@ -181,6 +196,15 @@ def validate_jsonl(text: str) -> List[str]:
         return [f"line 1: not valid JSON: {exc}"]
     if header.get("type") != "meta":
         problems.append("line 1 must be the meta record")
+    if header.get("version") != JSONL_VERSION:
+        problems.append(
+            f"line 1: version is {header.get('version')!r}, "
+            f"expected {JSONL_VERSION}"
+        )
+    n_threads = header.get("n_threads")
+    if not isinstance(n_threads, int) or isinstance(n_threads, bool) \
+            or n_threads < 1:
+        problems.append("line 1: n_threads must be a positive integer")
     seen_ids = set()
     for i, line in enumerate(lines[1:], start=2):
         try:

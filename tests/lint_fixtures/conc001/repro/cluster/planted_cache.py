@@ -1,0 +1,12 @@
+"""Planted CONC001 fixture: module-level mutable state on the serve path.
+
+The module lives under ``repro.cluster`` so the serve-path import
+closure reaches it; the cache is both defined and mutated here.
+"""
+
+_RESULT_CACHE = {}
+
+
+def remember(key, value):
+    _RESULT_CACHE[key] = value
+    return _RESULT_CACHE

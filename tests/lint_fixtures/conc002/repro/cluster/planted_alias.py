@@ -1,0 +1,13 @@
+"""Planted CONC002 fixture: state aliasing across shard boundaries."""
+
+
+class PlantedBackend:
+    shared_queue = []  # one list shared by every instance, every shard
+
+    def __init__(self, name):
+        self.name = name
+
+
+def merge(results, acc={}):  # one dict shared by every call
+    acc.update(results)
+    return acc

@@ -1,0 +1,10 @@
+"""Planted CONC003 fixture: merge order from per-shard dict iteration."""
+
+
+def merge(by_shard):
+    out = []
+    for name, rows in by_shard.items():  # flagged: unordered merge
+        out.extend(rows)
+    for name in sorted(by_shard):        # clean: explicit order
+        out.append(name)
+    return out

@@ -1,0 +1,19 @@
+"""Planted SCH001 fixture: emitter/validator key drift, both directions.
+
+The path places it at module ``repro.cluster.result`` — one of the
+registered schema modules — so the pass picks up the pair below.
+"""
+
+_DOC_FIELDS = ("a", "ghost")
+
+
+def to_json(x):
+    return {"a": x, "drifted": 1}
+
+
+def validate_doc(doc):
+    problems = []
+    for key in _DOC_FIELDS:
+        if key not in doc:
+            problems.append(key)
+    return problems

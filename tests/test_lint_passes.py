@@ -245,7 +245,7 @@ def test_cs001_flags_unregistered_mutation(tmp_path):
             def rogue(self):
                 self.ftl.write_page(0, b"", None)
     """)
-    assert _rule_ids(res) == ["CS001"]
+    assert _rule_ids(res) == ["CS001", "CS002"]
 
 
 def test_cs001_allows_site_wrapped_mutation(tmp_path):
@@ -285,7 +285,10 @@ def test_cs001_one_unguarded_caller_poisons_helper(tmp_path):
             def _helper(self):
                 self.ftl.write_page(0, b"", None)
     """)
-    assert _rule_ids(res) == ["CS001"]
+    assert _rule_ids(res) == ["CS001", "CS002"]
+    # the chain names the unguarded entry, not the guarded one
+    chain = [f for f in res.findings if f.rule == "CS002"][0]
+    assert "FW.bypass() -> FW._helper()" in chain.message
 
 
 def test_cs001_ignores_non_stack_modules(tmp_path):
@@ -374,9 +377,11 @@ def test_cs001_exempt_function_does_not_poison_callees(tmp_path):
 # ---------------------------------------------------------------------- #
 
 def test_every_rule_id_has_a_firing_fixture():
-    """RULES and the fixtures above must stay in sync."""
+    """RULES and the fixtures (here + tests/test_whole_program_lint.py)
+    must stay in sync."""
     assert set(RULES) == {
-        "CS001", "DET001", "DET002", "DET003", "LAY001", "PERF001",
+        "CS001", "CS002", "CONC001", "CONC002", "CONC003", "SCH001",
+        "DET001", "DET002", "DET003", "LAY001", "PERF001",
     }
 
 
