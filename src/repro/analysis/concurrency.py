@@ -35,7 +35,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import ProjectIndex, is_mutable_container_expr
 
 #: Roots of the serve path: CONC checks cover everything these import.
-SERVE_ROOTS = ("repro.cluster",)
+SERVE_ROOTS = ("repro.cluster", "repro.telemetry")
 
 #: Methods that mutate the receiver container in place.
 MUTATING_METHODS = {

@@ -35,7 +35,14 @@ DET002_EXEMPT = ("repro.sim.rng",)
 #: with virtual time).  They are audited once, here, to take time only
 #: from the VirtualClock — so DET001 exempts the package by prefix and
 #: instrumentation never needs per-site suppressions.
-DET001_CONSUMERS = ("repro.trace", "repro.bench.perf", "repro.cluster")
+DET001_CONSUMERS = (
+    "repro.trace",
+    "repro.bench.perf",
+    "repro.cluster",
+    # the telemetry sampler stamps every row with virtual-clock
+    # boundaries handed to it by the serve loop
+    "repro.telemetry",
+)
 
 WALL_CLOCK = {
     "time.time",

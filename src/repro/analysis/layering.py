@@ -32,6 +32,9 @@ HOST_PREFIXES = (
     # surface (arm/power_fail/crash/remount), so it is host-side code
     # and must not reach device internals either
     "repro.faults",
+    # telemetry samples devices only through the public MSSD.gauges()
+    # surface, so it is host-side code too
+    "repro.telemetry",
     "repro.__main__",
 )
 

@@ -8,6 +8,9 @@ Usage::
     python -m repro compare --workload create
     python -m repro crashsweep --fs bytefs --max-sites 100
     python -m repro crashsweep --fs ext4 --site 42 --torn
+    python -m repro serve --tenants 4 --fault crash:dev0@ops=50 \\
+        --out run.json --telemetry-out series.jsonl
+    python -m repro top run.json --series series.jsonl
     python -m repro lint
     python -m repro lint src/repro/fs --format=json
     python -m repro trace create --ssd bytefs --out trace.json
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, Optional
 
@@ -98,6 +102,7 @@ def _cmd_serve(args) -> int:
     from repro.faults import parse_fault
 
     tenants = default_tenants(args.tenants, n_ops=args.ops)
+    telemetry_on = args.telemetry_out is not None or args.listen is not None
     try:
         faults = [parse_fault(spec) for spec in (args.fault or ())]
         result = serve_cluster(
@@ -111,6 +116,7 @@ def _cmd_serve(args) -> int:
             quantum_ns=args.quantum_ns,
             faults=faults,
             outage_policy=args.outage_policy,
+            sample_every_ns=args.sample_ns if telemetry_on else None,
         )
     except ValueError as exc:
         # bad --fault spec / fault plan (device out of range, duplicate
@@ -132,8 +138,18 @@ def _cmd_serve(args) -> int:
             json.dump(doc, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.telemetry_out:
+        from repro.telemetry import write_series
+
+        n_rows = write_series(result.telemetry, args.telemetry_out)
+        print(
+            f"wrote {args.telemetry_out} ({n_rows} samples)",
+            file=sys.stderr,
+        )
     if args.format == "json":
         print(json.dumps(doc, sort_keys=True, indent=2))
+        if args.listen is not None:
+            _serve_metrics(result, args.listen)
         return 1 if dirty else 0
     rows = []
     for t in doc["tenants"]:
@@ -145,12 +161,14 @@ def _cmd_serve(args) -> int:
             t["rejected"],
             t["slo_violations"],
             (lat.get("p50") or 0.0) / 1000,
+            (lat.get("p95") or 0.0) / 1000,
             (lat.get("p99") or 0.0) / 1000,
         ))
     print(format_table(
         f"{args.tenants} tenants on {args.devices}x {args.fs} "
         f"({args.sched})",
-        ["tenant", "dev", "ops", "rej", "slo!", "p50 us", "p99 us"],
+        ["tenant", "dev", "ops", "rej", "slo!", "p50 us", "p95 us",
+         "p99 us"],
         rows,
         col_width=16,
     ))
@@ -182,7 +200,47 @@ def _cmd_serve(args) -> int:
             f"wall {rec['wall_s'] * 1e3:.1f} ms), "
             f"oracle {verdict} over {len(oc['checked'])} tenant(s)"
         )
+    if args.listen is not None:
+        _serve_metrics(result, args.listen)
     return 1 if dirty else 0
+
+
+def _serve_metrics(result, port: int) -> None:
+    """Block on a /metrics + /healthz endpoint over the run's telemetry."""
+    from repro.telemetry import make_server, render_prometheus
+
+    srv = make_server(
+        lambda: render_prometheus(result.telemetry), port=port
+    )
+    host, bound = srv.server_address[:2]
+    print(
+        f"telemetry: http://{host}:{bound}/metrics and /healthz "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        srv.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        srv.server_close()
+
+
+def _cmd_top(args) -> int:
+    from repro.telemetry import load_series, render_top, validate_series
+
+    with open(args.result, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    series = None
+    if args.series:
+        series = load_series(args.series)
+        problems = validate_series(series)
+        if problems:
+            for p in problems:
+                print(f"series error: {p}", file=sys.stderr)
+            return 2
+    print(render_top(doc, series=series, top_n=args.top))
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -441,6 +499,38 @@ def main(argv: Optional[list] = None) -> int:
         "--out", default=None,
         help="also write the JSON document to this path",
     )
+    serve_p.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="sample live telemetry during the run and write the "
+        "repro.telemetry.series/v1 JSONL to this path",
+    )
+    serve_p.add_argument(
+        "--sample-ns", type=float, default=1_000_000,
+        help="telemetry sampling interval in virtual ns (default 1ms)",
+    )
+    serve_p.add_argument(
+        "--listen", type=int, default=None, metavar="PORT",
+        help="after the run, serve Prometheus /metrics (+ /healthz) on "
+        "127.0.0.1:PORT until interrupted (0 = ephemeral port)",
+    )
+
+    top_p = sub.add_parser(
+        "top",
+        help="terminal report over a serve result (+ telemetry series)",
+    )
+    top_p.add_argument(
+        "result",
+        help="repro.cluster.run JSON document (repro serve --out)",
+    )
+    top_p.add_argument(
+        "--series", default=None, metavar="PATH",
+        help="repro.telemetry.series/v1 JSONL (repro serve "
+        "--telemetry-out) for timelines, GC storms, and outage windows",
+    )
+    top_p.add_argument(
+        "--top", type=int, default=5,
+        help="tenants per ranking table (default 5)",
+    )
 
     tr_p = sub.add_parser(
         "trace",
@@ -573,13 +663,22 @@ def main(argv: Optional[list] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "compare": _cmd_compare,
         "crashsweep": _cmd_crashsweep,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Reports like `repro top | head` close the pipe early; exit
+        # quietly instead of tracebacking.  stdout is left unflushable,
+        # so detach it from the interpreter-exit flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -124,6 +124,9 @@ class ClusterRunResult:
     #: one record per power-cycled device, in device order; ``wall_s`` on
     #: these live records is the measured host time (nulled in to_json)
     recovery: List[Dict] = field(default_factory=list)
+    #: live-only: the run's TelemetrySampler when ``sample_every_ns`` was
+    #: set (serialize via repro.telemetry.series, never into this doc)
+    telemetry: Optional[object] = None
 
     @property
     def ops(self) -> int:

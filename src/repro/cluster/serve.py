@@ -67,6 +67,7 @@ from repro.nand.timing import TimingModel
 from repro.sim.clock import MSEC, SEC, VirtualClock
 from repro.sim.rng import make_rng
 from repro.stats.traffic import Direction, LatencyRecorder, TrafficStats
+from repro.telemetry import sampler as telem
 from repro.trace import tracer as trace
 from repro.trace.tracer import Tracer
 
@@ -228,6 +229,10 @@ def _crash_and_recover(
     fired = inj.fired
     inj.disarm()
     t_down = clock.now
+    smp = telem.active() if telem.ENABLED else None
+    if smp is not None:
+        # Pre-crash boundaries sample with up=1 before the window opens.
+        smp.advance(device, t_down)
     stats.bump_fault("fault_power_cycles")
     if trace.ENABLED:
         trace.event(
@@ -270,6 +275,10 @@ def _crash_and_recover(
         for tn in tenants:
             tn.reject_from = t_down
             tn.reject_to = t_up
+    if smp is not None:
+        # Boundaries inside [t_down, t_up) emit up=0: the crash and the
+        # recovery show up as gauge transitions in the series.
+        smp.mark_outage(device, t_down, t_up)
     fault.record = {
         "device": device,
         "trigger": fault.spec.to_json(),
@@ -314,6 +323,7 @@ def _serve_device(
 ) -> None:
     """Drain one device's tenants to completion (see module docstring)."""
     time_of = clock.time_of
+    smp = telem.active() if telem.ENABLED else None
     while True:
         # 1. Find the earliest dispatchable request across tenants.  A
         # tenant's next request is dispatchable once it has arrived AND
@@ -337,6 +347,10 @@ def _serve_device(
             break
         t_free = queue.earliest_free()
         t_dec = t_req if t_req > t_free else t_free
+        if smp is not None:
+            # Pull-based sampling: emit every boundary crossed since the
+            # last decision, stamped with the boundary's virtual time.
+            smp.advance(device, t_dec)
         # Fault trigger check at the decision instant: the next dispatch
         # is the one in flight when power drops.
         if fault is not None and not fault.done and not fault.armed:
@@ -499,6 +513,7 @@ def serve_cluster(
     unmount: bool = False,
     faults: Optional[Sequence[DeviceCrash]] = None,
     outage_policy: str = "requeue",
+    sample_every_ns: Optional[float] = None,
 ) -> ClusterRunResult:
     """Run ``tenants`` against a sharded backend under scheduler ``sched``.
 
@@ -511,6 +526,13 @@ def serve_cluster(
     docstring); every tenant placed on a faulted device must use a
     profile/``synthetic`` workload, because only those can be mirrored
     into the durability oracle across a crash.
+
+    ``sample_every_ns`` turns on live telemetry: a
+    :class:`~repro.telemetry.sampler.TelemetrySampler` samples every
+    shard at that virtual-time interval during the measured phase and is
+    returned on the live-only ``result.telemetry`` field (serialize it
+    with :func:`repro.telemetry.series.write_series`).  ``None`` (the
+    default) leaves the serve loop's telemetry hooks dormant.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -597,6 +619,28 @@ def serve_cluster(
         tracer = Tracer(clock, keep_spans=True)
     elif trace.AUTO:
         tracer = Tracer(clock, keep_spans=False)
+    sampler: Optional[telem.TelemetrySampler] = None
+    if sample_every_ns is not None:
+        sampler = telem.TelemetrySampler(
+            t0, sample_every_ns,
+            meta={
+                "fs": fs_name,
+                "scheduler": sched,
+                "n_devices": n_devices,
+                "queue_depth": queue_depth,
+                "max_queue": max_queue,
+                "seed": seed,
+            },
+        )
+        for dev in range(n_devices):
+            sampler.add_device(
+                dev,
+                gauges=backend.devices[dev].gauges,
+                queue=backend.queues[dev],
+                tenants=by_device[dev],
+                stats=backend.stats[dev],
+                time_of=clock.time_of,
+            )
 
     def _drain() -> None:
         # Tenants never span devices, so shards are causally independent
@@ -626,18 +670,34 @@ def serve_cluster(
                     None, backend.stats[dev], frt, outage_policy, tracer,
                 )
 
-    if tracer is not None:
-        with trace.activated(tracer):
+    if sampler is not None:
+        telem.activate(sampler)
+    try:
+        if tracer is not None:
+            with trace.activated(tracer):
+                _drain()
+            tracer.close_all()
+        else:
             _drain()
-        tracer.close_all()
-    else:
-        _drain()
+    finally:
+        if sampler is not None:
+            telem.deactivate()
     # Final queue-accounting audit, sanitizer or not: a broken invariant
     # here means the result's counters are lies.
     for tn in runtime:
         with fssan.sanitized():
             _sanity(tn)
     elapsed_s = (clock.elapsed_ns - t0) / SEC
+    if sampler is not None:
+        # Close every shard's timeline at the run end (equal-length
+        # series per device) and bridge the tracer's per-layer latency
+        # histograms into end-of-run layer rows.
+        t_end = clock.elapsed_ns
+        for dev in range(n_devices):
+            sampler.advance(dev, t_end)
+        sampler.finalize(
+            t_end, tracer.metrics if tracer is not None else None
+        )
     if unmount:
         backend.unmount()
     return ClusterRunResult(
@@ -679,4 +739,5 @@ def serve_cluster(
             frt.record for frt in fault_rt
             if frt is not None and frt.record is not None
         ],
+        telemetry=sampler,
     )

@@ -249,6 +249,15 @@ class FTL:
                 total += self.geometry.pages_per_block - active.next_page
         return total
 
+    def gauges(self) -> Dict[str, float]:
+        """FTL telemetry gauges (sampled via :meth:`MSSD.gauges`)."""
+        return {
+            "gc_runs": self.gc_runs,
+            "gc_migrated_pages": self.gc_migrated_pages,
+            "free_pages": self.free_page_estimate(),
+            "write_buffer_inflight": len(self._inflight),
+        }
+
     # ------------------------------------------------------------------ #
     # allocation and GC
     # ------------------------------------------------------------------ #

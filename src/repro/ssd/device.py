@@ -389,6 +389,22 @@ class MSSD:
         """Drain all device-side buffered state to flash (unmount/sync)."""
         self.firmware.force_clean()
 
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    def gauges(self) -> Dict[str, float]:
+        """Public telemetry surface: the device-internal gauges the
+        sampling layer (:mod:`repro.telemetry`) may read.  Host code
+        samples this instead of reaching into the FTL/firmware/NAND
+        internals (which the layering lint fences off)."""
+        out = dict(self.ftl.gauges())
+        out["log_utilization"] = self.firmware.log_utilization()
+        out["nand_reads"] = self.flash.reads
+        out["nand_writes"] = self.flash.writes
+        out["nand_erases"] = self.flash.erases
+        return out
+
 
 def build_mssd(
     clock: Optional[VirtualClock] = None,

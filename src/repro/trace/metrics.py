@@ -78,6 +78,26 @@ class LogHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (bucket-wise addition).
+
+        Merging is exact — the merged histogram is identical to one that
+        recorded both sample streams directly, regardless of order — so
+        cross-registry aggregation (the telemetry layer bridge) stays
+        deterministic.  Returns ``self`` for chaining.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        self.zero_count += other.zero_count
+        for idx in sorted(other.buckets):
+            self.buckets[idx] = self.buckets.get(idx, 0) + other.buckets[idx]
+        return self
+
     def percentile(self, pct: float) -> float:
         """Approximate percentile from bucket representatives.
 
@@ -136,6 +156,15 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[LogHistogram]:
         return self._histograms.get(name)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, name by name (sorted
+        order; histogram merge is exact, counters add)."""
+        for name in other.histogram_names():
+            self.histogram(name).merge(other._histograms[name])
+        for name in sorted(other._counters):
+            self.bump(name, other._counters[name])
+        return self
 
     def to_json(self) -> Dict:
         return {

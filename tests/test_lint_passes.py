@@ -428,6 +428,21 @@ def test_cluster_package_is_registered_with_every_pass():
     assert "repro.cluster" in HOST_PREFIXES
 
 
+def test_telemetry_package_is_registered_with_every_pass():
+    """repro.telemetry is host-side code (reads devices only through
+    MSSD.gauges()), a blessed clock consumer (every row is stamped with
+    a virtual-time boundary), and serve-reachable (the sampler runs
+    inside the serve loop) — dropping any registration would silently
+    shrink lint coverage over the new subsystem."""
+    from repro.analysis.concurrency import SERVE_ROOTS
+    from repro.analysis.determinism import DET001_CONSUMERS
+    from repro.analysis.layering import HOST_PREFIXES
+
+    assert "repro.telemetry" in DET001_CONSUMERS
+    assert "repro.telemetry" in HOST_PREFIXES
+    assert "repro.telemetry" in SERVE_ROOTS
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #
