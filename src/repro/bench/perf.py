@@ -69,7 +69,8 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
 
 #: The pinned default suite: every file system, plus extra ByteFS cases
 #: because its firmware (write log, skip-list index, log cleaning) is
-#: the hottest Python path in the repo.
+#: the hottest Python path in the repo, plus one cluster-scale serving
+#: case so ``repro bench --check`` gates serving throughput too.
 DEFAULT_SUITE: Tuple[Tuple[str, str], ...] = (
     ("bytefs", "create"),
     ("bytefs", "varmail"),
@@ -80,7 +81,23 @@ DEFAULT_SUITE: Tuple[Tuple[str, str], ...] = (
     ("f2fs", "webserver"),
     ("nova", "create"),
     ("pmfs", "varmail"),
+    ("bytefs", "serve-32x4"),
 )
+
+#: Worker-scaling companions to the cluster case.  Deliberately NOT in
+#: DEFAULT_SUITE: parallel speedup depends on the runner's core count,
+#: so gating it in the median-normalized ``--check`` would flap shared
+#: CI hosts.  ``repro bench --cluster-scaling`` appends them; the
+#: measured curve is recorded in EXPERIMENTS.md and BENCH_simspeed.json.
+CLUSTER_SCALING_SUITE: Tuple[Tuple[str, str], ...] = (
+    ("bytefs", "serve-32x4-w2"),
+    ("bytefs", "serve-32x4-w4"),
+)
+
+#: Requests per tenant in the ``serve-TxD`` bench cases (calibrated so
+#: the serial drain takes ~1-2 s: long enough to dominate process
+#: overheads in the scaling cases, short enough for CI).
+CLUSTER_OPS_PER_TENANT = 40
 
 
 @dataclass
@@ -162,8 +179,84 @@ class _Probe:
             }
 
 
+def _parse_cluster_case(workload_name: str) -> Tuple[int, int, int]:
+    """``serve-<tenants>x<devices>[-w<workers>]`` -> (T, D, workers)."""
+    body = workload_name[len("serve-"):]
+    workers = 0
+    if "-w" in body:
+        body, w = body.split("-w", 1)
+        workers = int(w)
+    t, d = body.split("x", 1)
+    return int(t), int(d), workers
+
+
+def run_cluster_case(
+    fs: str, workload_name: str, repeat: int = 1
+) -> CaseResult:
+    """Run one ``serve-TxD[-wK]`` cluster-serving case.
+
+    The measured region is the drain phase only (``result.wall_s``:
+    epoch start to last shard finished), so serial and worker cases
+    time the same simulated work — setup, process spawn and result
+    pickling are excluded, exactly as run_case excludes setup.
+    """
+    import dataclasses
+
+    from repro.cluster.serve import serve_cluster
+    from repro.cluster.tenant import default_tenants
+
+    n_tenants, n_devices, workers = _parse_cluster_case(workload_name)
+    case: Optional[CaseResult] = None
+    for _ in range(max(1, repeat)):
+        # Pin tenant i to device i % D: deterministic, perfectly
+        # balanced shards, so worker speedup measures the harness and
+        # not placement luck.
+        tenants = [
+            dataclasses.replace(spec, device=i % n_devices)
+            for i, spec in enumerate(
+                default_tenants(n_tenants, n_ops=CLUSTER_OPS_PER_TENANT)
+            )
+        ]
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            result = serve_cluster(
+                tenants,
+                fs_name=fs,
+                n_devices=n_devices,
+                sched="drr",
+                geometry=BENCH_GEOMETRY,
+                workers=workers,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        ops = sum(t.ops for t in result.tenants)
+        if case is None:
+            case = CaseResult(
+                fs=fs,
+                workload=workload_name,
+                workload_ops=ops,
+                sim_elapsed_s=result.elapsed_s,
+                layer_calls=dict(result.layer_calls),
+            )
+        elif (case.workload_ops, case.layer_calls) != (
+            ops, result.layer_calls
+        ):  # pragma: no cover - determinism violation guard
+            raise AssertionError(
+                f"{fs}/{workload_name}: simulated counts differ between "
+                "repeats — the stack is nondeterministic"
+            )
+        case.wall_s.append(result.wall_s)
+    assert case is not None
+    return case
+
+
 def run_case(fs: str, workload_name: str, repeat: int = 1) -> CaseResult:
     """Run one suite case ``repeat`` times; keep every wall sample."""
+    if workload_name.startswith("serve-"):
+        return run_cluster_case(fs, workload_name, repeat=repeat)
     if workload_name not in WORKLOADS:
         raise ValueError(f"unknown bench workload {workload_name!r}")
     case: Optional[CaseResult] = None

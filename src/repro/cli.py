@@ -117,6 +117,7 @@ def _cmd_serve(args) -> int:
             faults=faults,
             outage_policy=args.outage_policy,
             sample_every_ns=args.sample_ns if telemetry_on else None,
+            workers=args.workers,
         )
     except ValueError as exc:
         # bad --fault spec / fault plan (device out of range, duplicate
@@ -333,6 +334,10 @@ def _cmd_bench(args) -> int:
         suite = tuple(c for c in suite if c[1] in wanted_wl)
     if not suite:
         raise SystemExit("bench: filters matched no suite cases")
+    if args.cluster_scaling:
+        suite = suite + tuple(
+            c for c in perf.CLUSTER_SCALING_SUITE if c not in suite
+        )
     cases = perf.run_suite(
         suite,
         repeat=args.repeat,
@@ -509,6 +514,12 @@ def main(argv: Optional[list] = None) -> int:
         help="telemetry sampling interval in virtual ns (default 1ms)",
     )
     serve_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve device shards in N worker processes and merge the "
+        "fragments deterministically (byte-identical to the serial "
+        "run); 0 (default) = in-process serial",
+    )
+    serve_p.add_argument(
         "--listen", type=int, default=None, metavar="PORT",
         help="after the run, serve Prometheus /metrics (+ /healthz) on "
         "127.0.0.1:PORT until interrupted (0 = ephemeral port)",
@@ -620,6 +631,11 @@ def main(argv: Optional[list] = None) -> int:
         "--check", action="store_true",
         help="with --baseline: exit 1 on >30%% median-normalized "
              "per-case regression",
+    )
+    bench_p.add_argument(
+        "--cluster-scaling", action="store_true",
+        help="also run the serve worker-scaling cases (core-count "
+        "sensitive, so they are excluded from the pinned suite)",
     )
 
     lint_p = sub.add_parser(

@@ -127,6 +127,12 @@ class ClusterRunResult:
     #: live-only: the run's TelemetrySampler when ``sample_every_ns`` was
     #: set (serialize via repro.telemetry.series, never into this doc)
     telemetry: Optional[object] = None
+    #: live-only: measured host wall-clock of the drain phase (the bench
+    #: harness reads it; never serialized — the doc stays deterministic)
+    wall_s: Optional[float] = None
+    #: live-only: per-layer device call-count deltas of the drain phase,
+    #: summed over shards (same keys as the bench probe's layer_calls)
+    layer_calls: Optional[Dict[str, int]] = None
 
     @property
     def ops(self) -> int:

@@ -83,6 +83,15 @@ class AdmissionQueue:
         slot.busy_until = end
         slot.total_busy_ns += end - begin
 
+    def outage_until(self, t_up: float) -> None:
+        """The submission queue did not survive a power cycle: no grant
+        may start before the shard is back at ``t_up``.  (Never
+        :meth:`reset` here — that would rewind the busy-until
+        timelines.)"""
+        for slot in self.slots:
+            if slot.busy_until < t_up:
+                slot.busy_until = t_up
+
     def reset(self) -> None:
         for slot in self.slots:
             slot.reset()

@@ -27,6 +27,22 @@ Dispatch semantics (per device, deterministic):
    own clock thread so device-level contention is shared with any
    overlapping ops admitted through other queue slots.
 
+The dispatch loop itself lives in :mod:`repro.cluster.kernel`
+(:func:`~repro.cluster.kernel.serve_device`): a per-shard event kernel
+that finds each decision instant with lazy min-heaps instead of tenant
+scans, so idle virtual time is skipped in O(1).
+
+**Process-parallel serving** (``workers=N`` / ``repro serve --workers``):
+device shards are causally independent between two sync points (the
+post-setup epoch ``t0`` and the run end ``t_end``), so the cluster can
+run one worker process per shard group — see
+:mod:`repro.cluster.worker` for the protocol and
+:mod:`repro.cluster.merge` for the deterministic reducer.  ``workers=0``
+(the default) keeps the in-process serial path, which is the reference:
+``workers=K`` produces byte-identical result and telemetry documents
+for every K.  ``traced=True`` (span-keeping) requires the serial path;
+metrics-only auto tracing (``REPRO_TRACE=1``) works under both.
+
 **Faults under load** (``faults=`` / ``repro serve --fault``): a
 :class:`~repro.faults.plan.DeviceCrash` powers one shard off mid-run —
 at a virtual time or after N dispatched requests — while tenants keep
@@ -46,452 +62,61 @@ executes.  The extended request ledger — checked by FSSAN-QUEUE — is
 ``submitted == served + pending + rejected + dropped + lost_to_crash``.
 
 Everything is a pure function of (seed, config): two identical
-``serve_cluster`` calls produce byte-identical result JSON.  The one
-measured wall-clock quantity (recovery ``wall_s``) therefore lives only
-on the live result object and serializes as ``null``.
+``serve_cluster`` calls produce byte-identical result JSON.  The
+measured wall-clock quantities (recovery ``wall_s``, the drain-phase
+``result.wall_s``) therefore live only on the live result object; the
+former serializes as ``null``, the latter not at all.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import fssan
-from repro.faults.injector import FaultInjector
-from repro.faults.oracle import OracleFS
-from repro.faults.plan import DeviceCrash, check_fault_plan
+from repro.faults.plan import DeviceCrash, check_fault_plan, plan_by_device
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
-from repro.sim.clock import MSEC, SEC, VirtualClock
-from repro.sim.rng import make_rng
-from repro.stats.traffic import Direction, LatencyRecorder, TrafficStats
+from repro.sim.clock import SEC, VirtualClock
+from repro.stats.traffic import LatencyRecorder
 from repro.telemetry import sampler as telem
 from repro.trace import tracer as trace
+from repro.trace.metrics import MetricsRegistry
 from repro.trace.tracer import Tracer
 
-from repro.cluster.result import ALL_OPS, ClusterRunResult, TenantResult
-from repro.cluster.sched import AdmissionQueue, Scheduler, make_scheduler
-from repro.cluster.shard import ShardedBackend
-from repro.cluster.tenant import CRASHED, TenantSpec, make_tenant_workload
-
-_INF = float("inf")
+from repro.cluster.kernel import (
+    DeviceFault,
+    TenantRT,
+    device_call_snapshot,
+    gen_arrivals,
+    run_device_drain,
+    run_orphan_crash,
+    sanity,
+    setup_tenant,
+)
+from repro.cluster.merge import merge_shard_results
+from repro.cluster.result import ClusterRunResult, TenantResult
+from repro.cluster.sched import Scheduler, make_scheduler
+from repro.cluster.shard import ShardedBackend, place_tenant
+from repro.cluster.tenant import TenantSpec, make_tenant_workload
+from repro.cluster.worker import ShardTask, run_shard_workers
 
 #: outage policies for arrivals landing inside [t_down, t_up)
 OUTAGE_POLICIES = ("requeue", "reject")
 
 
-@dataclass
-class _TenantRT:
-    """Mutable per-tenant serving state."""
-
-    index: int                       # global index == clock thread id
-    spec: TenantSpec
-    gen: object                      # the workload's op generator
-    arrivals: List[float]            # absolute arrival times (ns)
-    next_i: int = 0                  # first arrival not yet pumped
-    queue: deque = field(default_factory=deque)
-    deficit: float = 0.0             # DRR bookkeeping
-    served: int = 0
-    rejected: int = 0
-    dropped: int = 0
-    lost_to_crash: int = 0           # in flight when the shard lost power
-    outage_rejected: int = 0         # rejections attributed to an outage
-    slo_violations: int = 0
-    slo_violations_outage: int = 0   # violations overlapping the outage
-    done: bool = False               # workload generator exhausted
-    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    traffic: Dict[str, int] = field(default_factory=dict)
-    #: namespace view and oracle mirror (faulted shards only)
-    ns: Optional[object] = None
-    oracle: Optional[OracleFS] = None
-    #: arrivals inside [reject_from, reject_to) bounce ("reject" policy)
-    reject_from: float = _INF
-    reject_to: float = -_INF
-
-    @property
-    def tid(self) -> int:
-        return self.index
-
-    def submitted(self) -> int:
-        return self.next_i
-
-    def pump(self, t: float, max_queue: int) -> None:
-        """Move arrivals up to ``t`` into the queue (admission control)."""
-        arrivals = self.arrivals
-        i = self.next_i
-        n = len(arrivals)
-        while i < n and arrivals[i] <= t:
-            a = arrivals[i]
-            if self.reject_from <= a < self.reject_to:
-                # Arrived while the shard was down (policy "reject").
-                self.rejected += 1
-                self.outage_rejected += 1
-            elif len(self.queue) >= max_queue:
-                self.rejected += 1
-            else:
-                self.queue.append(a)
-            i += 1
-        self.next_i = i
-
-    def finish(self) -> None:
-        """Workload exhausted: abandon backlog and future arrivals."""
-        self.done = True
-        self.dropped += len(self.queue)
-        self.queue.clear()
-        del self.arrivals[self.next_i:]
-
-
-_TRAFFIC_KEYS = (
-    "host_write", "host_read", "flash_write", "flash_read",
-    "app_write", "app_read",
-)
-
-
-def _traffic_totals(stats: TrafficStats) -> Tuple[float, ...]:
-    hw = hr = 0
-    for (_k, d, _i), n in stats.host_ssd.items():
-        if d is Direction.WRITE:
-            hw += n
-        else:
-            hr += n
-    fw = fr = 0
-    for (_k, d), n in stats.flash.items():
-        if d is Direction.WRITE:
-            fw += n
-        else:
-            fr += n
-    return (
-        hw, hr, fw, fr,
-        stats.app.get(Direction.WRITE, 0),
-        stats.app.get(Direction.READ, 0),
-    )
-
-
-def _attribute(tn: _TenantRT, before: Tuple, after: Tuple) -> None:
-    for key, b, a in zip(_TRAFFIC_KEYS, before, after):
-        tn.traffic[key] = tn.traffic.get(key, 0) + (a - b)
-
-
-def _sanity(tn: _TenantRT) -> None:
-    fssan.check_queue_accounting(
-        tn.spec.name, tn.submitted(), tn.served, len(tn.queue),
-        tn.rejected, tn.dropped, tn.lost_to_crash,
-    )
-
-
-@dataclass
-class _DeviceFault:
-    """Mutable runtime state of one planned device crash."""
-
-    spec: DeviceCrash
-    injector: FaultInjector
-    t_crash: float = _INF            # absolute trigger time (ns); inf = ops
-    armed: bool = False              # injector armed, crash op pending
-    done: bool = False               # power-cycled and recovered
-    dispatched: int = 0              # grants on this device so far
-    t_down: float = 0.0
-    t_up: float = 0.0
-    wall_s: float = 0.0              # measured host time in recovery
-    record: Optional[Dict] = None    # the result document's entry
-
-    def due(self, t_dec: float) -> bool:
-        if self.spec.after_ops is not None:
-            return self.dispatched >= self.spec.after_ops
-        return t_dec >= self.t_crash
-
-
-def _crash_and_recover(
-    clock: VirtualClock,
-    device: int,
-    device_obj,
-    fs,
-    tenants: List[_TenantRT],
-    queue: AdmissionQueue,
-    sched: Optional[Scheduler],
-    stats: TrafficStats,
-    fault: _DeviceFault,
-    outage_policy: str,
-    tracer: Optional[Tracer],
-) -> None:
-    """Power-cycle one shard and bring it back on the virtual timeline.
-
-    Runs synchronously on the current clock thread, at the instant power
-    dropped: device DRAM state replays from its power-loss log, the file
-    system runs its crash-recovery path (journal replay / log scan), and
-    the durability oracle then scrubs every mirrored tenant namespace —
-    the scrub's reads cost virtual time like a real verification pass,
-    so recovery time includes it.  Other tenants see the outage through
-    the admission queue: every slot is busy until recovery completes.
-    """
-    inj = fault.injector
-    fired = inj.fired
-    inj.disarm()
-    t_down = clock.now
-    smp = telem.active() if telem.ENABLED else None
-    if smp is not None:
-        # Pre-crash boundaries sample with up=1 before the window opens.
-        smp.advance(device, t_down)
-    stats.bump_fault("fault_power_cycles")
-    if trace.ENABLED:
-        trace.event(
-            "cluster", "crash", device=device,
-            site=fired.label if fired is not None else None,
-        )
-    span = (
-        trace.begin("cluster", "recovery", device=device)
-        if tracer is not None else None
-    )
-    wall0 = time.perf_counter()
-    device_obj.power_fail()
-    fs.crash()
-    fw = fs.remount()
-    checked: List[str] = []
-    errors: Dict[str, List[str]] = {}
-    for tn in sorted(tenants, key=lambda t: t.index):
-        if tn.oracle is None:
-            continue
-        checked.append(tn.spec.name)
-        bad = tn.oracle.check(tn.ns)
-        if bad:
-            errors[tn.spec.name] = bad
-    fault.wall_s = time.perf_counter() - wall0
-    t_up = clock.now
-    if span is not None:
-        trace.end(span)
-    fault.done = True
-    fault.t_down = t_down
-    fault.t_up = t_up
-    # The submission queue did not survive the power cycle: no grant may
-    # start before the shard is back.  (Never Resource.reset() here —
-    # that would rewind the busy-until timelines.)
-    for slot in queue.slots:
-        if slot.busy_until < t_up:
-            slot.busy_until = t_up
-    if sched is not None:
-        sched.on_outage(t_down, t_up)
-    if outage_policy == "reject":
-        for tn in tenants:
-            tn.reject_from = t_down
-            tn.reject_to = t_up
-    if smp is not None:
-        # Boundaries inside [t_down, t_up) emit up=0: the crash and the
-        # recovery show up as gauge transitions in the series.
-        smp.mark_outage(device, t_down, t_up)
-    fault.record = {
-        "device": device,
-        "trigger": fault.spec.to_json(),
-        "fired": (
-            {
-                "site": fired.site,
-                "label": fired.label,
-                "nbytes": fired.nbytes,
-                "torn_bytes": fired.torn_bytes,
-            }
-            if fired is not None else None
-        ),
-        "t_down_ns": t_down,
-        "t_up_ns": t_up,
-        "virtual_ns": t_up - t_down,
-        "wall_s": fault.wall_s,
-        "fw": {k: fw[k] for k in sorted(fw)},
-        "oracle": {
-            "checked": checked,
-            "clean": not errors,
-            "errors": errors,
-        },
+def _sampler_meta(
+    fs_name: str, sched: str, n_devices: int, queue_depth: int,
+    max_queue: int, seed: int,
+) -> Dict:
+    return {
+        "fs": fs_name,
+        "scheduler": sched,
+        "n_devices": n_devices,
+        "queue_depth": queue_depth,
+        "max_queue": max_queue,
+        "seed": seed,
     }
-
-
-def _serve_device(
-    clock: VirtualClock,
-    device: int,
-    tenants: List[_TenantRT],
-    sched: Scheduler,
-    queue: AdmissionQueue,
-    stats: TrafficStats,
-    max_queue: int,
-    cluster_latency: LatencyRecorder,
-    dispatch_log: Optional[List],
-    tracer: Optional[Tracer],
-    device_obj=None,
-    fs=None,
-    fault: Optional[_DeviceFault] = None,
-    outage_policy: str = "requeue",
-    fault_seed: int = 0,
-) -> None:
-    """Drain one device's tenants to completion (see module docstring)."""
-    time_of = clock.time_of
-    smp = telem.active() if telem.ENABLED else None
-    while True:
-        # 1. Find the earliest dispatchable request across tenants.  A
-        # tenant's next request is dispatchable once it has arrived AND
-        # the tenant's (single-threaded) client is free again.
-        t_req = _INF
-        for tn in tenants:
-            if tn.done:
-                continue
-            if tn.queue:
-                r = tn.queue[0]
-            elif tn.next_i < len(tn.arrivals):
-                r = tn.arrivals[tn.next_i]
-            else:
-                continue
-            avail = time_of(tn.tid)
-            if avail > r:
-                r = avail
-            if r < t_req:
-                t_req = r
-        if t_req == _INF:
-            break
-        t_free = queue.earliest_free()
-        t_dec = t_req if t_req > t_free else t_free
-        if smp is not None:
-            # Pull-based sampling: emit every boundary crossed since the
-            # last decision, stamped with the boundary's virtual time.
-            smp.advance(device, t_dec)
-        # Fault trigger check at the decision instant: the next dispatch
-        # is the one in flight when power drops.
-        if fault is not None and not fault.done and not fault.armed:
-            if fault.due(t_dec):
-                fault.injector.arm_next(
-                    torn=fault.spec.torn, seed=fault_seed
-                )
-                fault.armed = True
-        # 2. Pump arrivals (admission control) up to the decision instant.
-        for tn in tenants:
-            if not tn.done:
-                tn.pump(t_dec, max_queue)
-        eligible = [tn for tn in tenants if tn.queue and tn.queue[0] <= t_dec]
-        if not eligible:
-            # The min-r tenant's arrival was rejected at the full queue;
-            # recompute from the new state.
-            continue
-        # 3. Policy decision.  A tenant with an op still in flight stays
-        # schedulable — its queued requests live in the device queue, not
-        # the client — but its grant can only *start* once the in-flight
-        # op completes (per-tenant request ordering).  Under FIFO this is
-        # exactly head-of-line blocking: later arrivals from everyone
-        # else wait behind a backlogged tenant's older requests.
-        tn = sched.pick(eligible, t_dec)
-        start = t_dec
-        avail = time_of(tn.tid)
-        if avail > start:
-            start = avail
-        rel = sched.release(tn, t_dec)
-        if rel > start:
-            # Non-work-conserving hold: if any arrival lands before the
-            # hold ends, it may belong to an unthrottled tenant — pump to
-            # it and re-decide.
-            nxt = min(
-                (t.arrivals[t.next_i] for t in tenants
-                 if not t.done and t.next_i < len(t.arrivals)),
-                default=_INF,
-            )
-            if nxt < rel:
-                for t in tenants:
-                    if not t.done:
-                        t.pump(nxt, max_queue)
-                continue
-            start = rel
-        arrival = tn.queue.popleft()
-        slot, grant = queue.admit(start)
-        if fault is not None:
-            fault.dispatched += 1
-        clock.switch(tn.tid)
-        clock.advance_to(grant)
-        root = (
-            trace.begin("cluster", "op", tenant=tn.spec.name, device=device)
-            if tracer is not None else None
-        )
-        if root is not None and grant > arrival:
-            trace.note_wait(queue.group, grant - arrival, 0.0)
-        before = _traffic_totals(stats)
-        try:
-            op_name = next(tn.gen)
-        except StopIteration:
-            if root is not None:
-                root.op = "drain"
-                trace.end(root)
-            tn.dropped += 1
-            tn.finish()
-            if fssan.ENABLED:
-                _sanity(tn)
-            continue
-        end = clock.now
-        if root is not None:
-            root.op = op_name
-            trace.end(root)
-        queue.complete(slot, grant, end)
-        _attribute(tn, before, _traffic_totals(stats))
-        if op_name == CRASHED:
-            # The dispatched op was in flight when the shard lost power:
-            # it was submitted but never served (lost to crash), and the
-            # recovery protocol runs right here, at t_down = `end`.
-            tn.lost_to_crash += 1
-            if dispatch_log is not None:
-                dispatch_log.append({
-                    "device": device,
-                    "tenant": tn.spec.name,
-                    "op": op_name,
-                    "arrival": arrival,
-                    "begin": grant,
-                    "end": end,
-                })
-            _crash_and_recover(
-                clock, device, device_obj, fs, tenants, queue, sched,
-                stats, fault, outage_policy, tracer,
-            )
-            if fssan.ENABLED:
-                _sanity(tn)
-            continue
-        sched.on_dispatch(tn, grant)
-        sched.charge(tn, end - grant)
-        lat = end - arrival
-        tn.served += 1
-        tn.latency.record(op_name, lat)
-        tn.latency.record(ALL_OPS, lat)
-        cluster_latency.record(op_name, lat)
-        cluster_latency.record(ALL_OPS, lat)
-        if lat > tn.spec.slo_ms * MSEC:
-            tn.slo_violations += 1
-            if (
-                fault is not None and fault.done
-                and arrival < fault.t_up and end > fault.t_down
-            ):
-                tn.slo_violations_outage += 1
-        if dispatch_log is not None:
-            dispatch_log.append({
-                "device": device,
-                "tenant": tn.spec.name,
-                "op": op_name,
-                "arrival": arrival,
-                "begin": grant,
-                "end": end,
-            })
-        if fssan.ENABLED:
-            _sanity(tn)
-        if fault is not None and fault.armed and not fault.done:
-            # The crash op completed without reaching a device-visible
-            # mutation (e.g. a cache-hit read): power drops at the op
-            # boundary instead, with nothing in flight.
-            _crash_and_recover(
-                clock, device, device_obj, fs, tenants, queue, sched,
-                stats, fault, outage_policy, tracer,
-            )
-    if fault is not None and not fault.done:
-        # The drain finished before the trigger was reached (or the
-        # armed crash never saw another dispatch): the planned fault
-        # still executes, as a between-ops power-off at drain end, so a
-        # matrix cell always exercises the recovery path.
-        tmax = max(time_of(tn.tid) for tn in tenants)
-        clock.switch(tenants[0].tid)
-        clock.advance_to(tmax)
-        _crash_and_recover(
-            clock, device, device_obj, fs, tenants, queue, sched,
-            stats, fault, outage_policy, tracer,
-        )
 
 
 def serve_cluster(
@@ -514,6 +139,7 @@ def serve_cluster(
     faults: Optional[Sequence[DeviceCrash]] = None,
     outage_policy: str = "requeue",
     sample_every_ns: Optional[float] = None,
+    workers: int = 0,
 ) -> ClusterRunResult:
     """Run ``tenants`` against a sharded backend under scheduler ``sched``.
 
@@ -533,6 +159,11 @@ def serve_cluster(
     returned on the live-only ``result.telemetry`` field (serialize it
     with :func:`repro.telemetry.series.write_series`).  ``None`` (the
     default) leaves the serve loop's telemetry hooks dormant.
+
+    ``workers`` > 0 runs ``min(workers, n_devices)`` shard worker
+    processes and reduces their fragments deterministically; the
+    returned result (and its telemetry series) is byte-identical to the
+    in-process ``workers=0`` run.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -544,8 +175,24 @@ def serve_cluster(
             f"unknown outage policy {outage_policy!r}; choose from "
             f"{', '.join(OUTAGE_POLICIES)}"
         )
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
     fault_specs = check_fault_plan(list(faults or ()), n_devices)
-    fault_for: Dict[int, DeviceCrash] = {f.device: f for f in fault_specs}
+    fault_for = plan_by_device(fault_specs)
+    auto_trace = bool(trace.AUTO) and not traced
+    if workers > 0:
+        return _serve_parallel(
+            tenants=tenants, fs_name=fs_name, n_devices=n_devices,
+            sched=sched, seed=seed, queue_depth=queue_depth,
+            max_queue=max_queue, quantum_ns=quantum_ns,
+            geometry=geometry, timing=timing, log_bytes=log_bytes,
+            device_cache_bytes=device_cache_bytes,
+            page_cache_pages=page_cache_pages, traced=traced,
+            keep_dispatch_log=keep_dispatch_log, unmount=unmount,
+            fault_specs=fault_specs, outage_policy=outage_policy,
+            sample_every_ns=sample_every_ns, workers=workers,
+            auto_trace=auto_trace,
+        )
     clock = VirtualClock(len(tenants))
     backend = ShardedBackend(
         fs_name,
@@ -560,53 +207,29 @@ def serve_cluster(
         fault_devices=fault_for,
     )
     # -------------------- setup phase (un-measured) -------------------- #
-    runtime: List[_TenantRT] = []
+    runtime: List[TenantRT] = []
     placement: List[int] = []
     for i, spec in enumerate(tenants):
         dev = backend.place(spec)
         placement.append(dev)
-        clock.switch(i)
-        ns = backend.mount_namespace(spec, dev)
-        workload = make_tenant_workload(spec, seed)
-        oracle: Optional[OracleFS] = None
-        if dev in fault_for:
-            if not hasattr(workload, "attach_oracle"):
-                raise ValueError(
-                    f"tenant {spec.name!r} runs workload "
-                    f"{spec.workload!r} on faulted device {dev}; only "
-                    "profile/'synthetic' workloads can be oracle-"
-                    "mirrored through a crash"
-                )
-            oracle = OracleFS()
-            workload.attach_oracle(oracle)
-        workload.setup(ns)
-        gen = workload.make_threads(ns)[0]
-        runtime.append(_TenantRT(
-            index=i, spec=spec, gen=gen, arrivals=[], ns=ns, oracle=oracle,
+        runtime.append(setup_tenant(
+            backend, clock, i, spec, dev, dev in fault_for, seed,
         ))
     # Measurement epoch: sync every timeline, zero every shard's stats.
     t0 = clock.sync_all()
     backend.reset_epoch()
-    fault_rt: List[Optional[_DeviceFault]] = [None] * n_devices
-    for dev, fspec in fault_for.items():
-        frt = _DeviceFault(spec=fspec, injector=backend.injectors[dev])
+    fault_rt: List[Optional[DeviceFault]] = [None] * n_devices
+    for dev in sorted(fault_for):
+        fspec = fault_for[dev]
+        frt = DeviceFault(spec=fspec, injector=backend.injectors[dev])
         if fspec.at_s is not None:
             frt.t_crash = t0 + fspec.at_s * SEC
         fault_rt[dev] = frt
     # Open-loop Poisson arrivals, one independent stream per tenant.
     for tn in runtime:
-        rng = make_rng(seed, f"arrivals:{tn.spec.name}")
-        t = t0
-        rate = tn.spec.rate_ops_s
-        if rate <= 0:
-            raise ValueError(
-                f"tenant {tn.spec.name!r} needs a positive rate_ops_s"
-            )
-        for _ in range(tn.spec.n_ops):
-            t += rng.expovariate(rate) * SEC
-            tn.arrivals.append(t)
+        gen_arrivals(tn, seed, t0)
     # ------------------------- measured phase -------------------------- #
-    by_device: List[List[_TenantRT]] = [[] for _ in range(n_devices)]
+    by_device: List[List[TenantRT]] = [[] for _ in range(n_devices)]
     for tn, dev in zip(runtime, placement):
         by_device[dev].append(tn)
     scheds: List[Scheduler] = [
@@ -617,20 +240,16 @@ def serve_cluster(
     tracer: Optional[Tracer] = None
     if traced:
         tracer = Tracer(clock, keep_spans=True)
-    elif trace.AUTO:
-        tracer = Tracer(clock, keep_spans=False)
+    #: per-device metrics registries (auto-trace runs; merged in device
+    #: order so serial and sharded layer aggregates are bit-identical)
+    metrics_by_device: Dict[int, MetricsRegistry] = {}
     sampler: Optional[telem.TelemetrySampler] = None
     if sample_every_ns is not None:
         sampler = telem.TelemetrySampler(
             t0, sample_every_ns,
-            meta={
-                "fs": fs_name,
-                "scheduler": sched,
-                "n_devices": n_devices,
-                "queue_depth": queue_depth,
-                "max_queue": max_queue,
-                "seed": seed,
-            },
+            meta=_sampler_meta(
+                fs_name, sched, n_devices, queue_depth, max_queue, seed,
+            ),
         )
         for dev in range(n_devices):
             sampler.add_device(
@@ -647,29 +266,35 @@ def serve_cluster(
         # and can be drained one after another on the shared clock.
         for dev in range(n_devices):
             if by_device[dev]:
-                _serve_device(
+                reg = run_device_drain(
                     clock, dev, by_device[dev], scheds[dev],
                     backend.queues[dev], backend.stats[dev], max_queue,
-                    cluster_latency, dispatch_log, tracer,
-                    device_obj=backend.devices[dev],
-                    fs=backend.filesystems[dev],
-                    fault=fault_rt[dev],
-                    outage_policy=outage_policy,
-                    fault_seed=seed,
+                    cluster_latency, dispatch_log,
+                    backend.devices[dev], backend.filesystems[dev],
+                    fault_rt[dev], outage_policy, seed,
+                    tracer, auto_trace,
                 )
+                if reg is not None:
+                    metrics_by_device[dev] = reg
         # A faulted device with no tenants still power-cycles (after the
         # populated shards drained, so its recovery work never delays a
         # tenant's timeline).
         for dev in range(n_devices):
             frt = fault_rt[dev]
             if frt is not None and not frt.done and not by_device[dev]:
-                clock.switch(0)
-                _crash_and_recover(
+                reg = run_orphan_crash(
                     clock, dev, backend.devices[dev],
-                    backend.filesystems[dev], [], backend.queues[dev],
-                    None, backend.stats[dev], frt, outage_policy, tracer,
+                    backend.filesystems[dev], backend.queues[dev],
+                    backend.stats[dev], frt, outage_policy,
+                    tracer, auto_trace,
                 )
+                if reg is not None:
+                    metrics_by_device[dev] = reg
 
+    calls0 = [
+        device_call_snapshot(backend.devices[k]) for k in range(n_devices)
+    ]
+    wall0 = time.perf_counter()
     if sampler is not None:
         telem.activate(sampler)
     try:
@@ -682,21 +307,38 @@ def serve_cluster(
     finally:
         if sampler is not None:
             telem.deactivate()
+    wall_s = time.perf_counter() - wall0
+    layer_calls: Dict[str, int] = {}
+    for k in range(n_devices):
+        snap = device_call_snapshot(backend.devices[k])
+        for key in snap:
+            layer_calls[key] = (
+                layer_calls.get(key, 0) + snap[key] - calls0[k][key]
+            )
     # Final queue-accounting audit, sanitizer or not: a broken invariant
     # here means the result's counters are lies.
     for tn in runtime:
         with fssan.sanitized():
-            _sanity(tn)
+            sanity(tn)
+    result_tracer = tracer
+    merged_metrics: Optional[MetricsRegistry] = None
+    if auto_trace:
+        merged_metrics = MetricsRegistry()
+        for dev in sorted(metrics_by_device):
+            merged_metrics.merge(metrics_by_device[dev])
+        result_tracer = Tracer(clock, keep_spans=False,
+                               metrics=merged_metrics)
     elapsed_s = (clock.elapsed_ns - t0) / SEC
     if sampler is not None:
         # Close every shard's timeline at the run end (equal-length
-        # series per device) and bridge the tracer's per-layer latency
-        # histograms into end-of-run layer rows.
+        # series per device) and bridge the per-layer latency histograms
+        # into end-of-run layer rows.
         t_end = clock.elapsed_ns
         for dev in range(n_devices):
             sampler.advance(dev, t_end)
         sampler.finalize(
-            t_end, tracer.metrics if tracer is not None else None
+            t_end,
+            tracer.metrics if tracer is not None else merged_metrics,
         )
     if unmount:
         backend.unmount()
@@ -729,7 +371,7 @@ def serve_cluster(
             backend.device_summary(k, elapsed_s) for k in range(n_devices)
         ],
         latency=cluster_latency,
-        trace=tracer,
+        trace=result_tracer,
         dispatch_log=dispatch_log,
         outage_policy=outage_policy,
         fault_plan=(
@@ -740,4 +382,133 @@ def serve_cluster(
             if frt is not None and frt.record is not None
         ],
         telemetry=sampler,
+        wall_s=wall_s,
+        layer_calls=layer_calls,
+    )
+
+
+def _serve_parallel(
+    *,
+    tenants: List[TenantSpec],
+    fs_name: str,
+    n_devices: int,
+    sched: str,
+    seed: int,
+    queue_depth: int,
+    max_queue: int,
+    quantum_ns: Optional[float],
+    geometry: Optional[FlashGeometry],
+    timing: Optional[TimingModel],
+    log_bytes: int,
+    device_cache_bytes: int,
+    page_cache_pages: int,
+    traced: bool,
+    keep_dispatch_log: bool,
+    unmount: bool,
+    fault_specs: List[DeviceCrash],
+    outage_policy: str,
+    sample_every_ns: Optional[float],
+    workers: int,
+    auto_trace: bool,
+) -> ClusterRunResult:
+    """Shard the cluster over worker processes and reduce the fragments.
+
+    Everything the serial path would reject with a ``ValueError`` is
+    rejected here, before any process spawns, so the caller-visible
+    error contract does not depend on ``workers``.
+    """
+    if traced:
+        raise ValueError(
+            "traced=True keeps one span tree on one tracer and requires "
+            "the in-process serial path (workers=0); metrics-only auto "
+            "tracing works with workers"
+        )
+    if sample_every_ns is not None and sample_every_ns <= 0:
+        raise ValueError("sample_every_ns must be positive")
+    # The scheduler name and the placement pins validate parent-side.
+    scheduler_echo = make_scheduler(sched, [], quantum_ns).config_json()
+    placement = [place_tenant(spec, n_devices) for spec in tenants]
+    fault_for = plan_by_device(fault_specs)
+    for spec, dev in zip(tenants, placement):
+        if dev in fault_for and not hasattr(
+            make_tenant_workload(spec, seed), "attach_oracle"
+        ):
+            raise ValueError(
+                f"tenant {spec.name!r} runs workload "
+                f"{spec.workload!r} on faulted device {dev}; only "
+                "profile/'synthetic' workloads can be oracle-"
+                "mirrored through a crash"
+            )
+        if spec.rate_ops_s <= 0:
+            raise ValueError(
+                f"tenant {spec.name!r} needs a positive rate_ops_s"
+            )
+    n_workers = min(workers, n_devices)
+    populated = set(placement)
+    owner = {dev: dev % n_workers for dev in range(n_devices)}
+    # A faulted device with no tenants power-cycles on clock thread 0 at
+    # drain end; only the worker serving tenant 0's device knows that
+    # thread's post-drain time, so such devices move to that worker.
+    home = owner[placement[0]]
+    for dev in sorted(fault_for):
+        if dev not in populated:
+            owner[dev] = home
+    tenant_entries = tuple(
+        (i, spec, placement[i]) for i, spec in enumerate(tenants)
+    )
+    tasks = [
+        ShardTask(
+            worker_id=w,
+            fs_name=fs_name,
+            n_devices=n_devices,
+            n_tenants=len(tenants),
+            tenants=tenant_entries,
+            owned_devices=tuple(
+                dev for dev in range(n_devices) if owner[dev] == w
+            ),
+            sched=sched,
+            seed=seed,
+            queue_depth=queue_depth,
+            max_queue=max_queue,
+            quantum_ns=quantum_ns,
+            geometry=geometry,
+            timing=timing,
+            log_bytes=log_bytes,
+            device_cache_bytes=device_cache_bytes,
+            page_cache_pages=page_cache_pages,
+            faults=tuple(fault_specs),
+            outage_policy=outage_policy,
+            sample_every_ns=sample_every_ns,
+            keep_dispatch_log=keep_dispatch_log,
+            unmount=unmount,
+            auto_trace=auto_trace,
+        )
+        for w in range(n_workers)
+    ]
+    t0, t_end, wall_s, results = run_shard_workers(tasks)
+    return merge_shard_results(
+        results,
+        fs_name=fs_name,
+        scheduler=scheduler_echo,
+        n_devices=n_devices,
+        n_tenants=len(tenants),
+        queue_depth=queue_depth,
+        max_queue=max_queue,
+        seed=seed,
+        outage_policy=outage_policy,
+        fault_plan=(
+            [f.to_json() for f in fault_specs] if fault_specs else None
+        ),
+        populated=populated,
+        t0=t0,
+        t_end=t_end,
+        wall_s=wall_s,
+        sample_every_ns=sample_every_ns,
+        sampler_meta=(
+            _sampler_meta(
+                fs_name, sched, n_devices, queue_depth, max_queue, seed,
+            )
+            if sample_every_ns is not None else None
+        ),
+        auto_trace=auto_trace,
     )

@@ -130,6 +130,13 @@ class VirtualClock:
         """
         ready = self._ready
         times = self._times
+        if len(ready) > 2 * len(times):
+            # Compaction backstop: more stale entries than live timelines
+            # (possible if a client pushed refreshed entries instead of
+            # replacing in place).  Rebuild from the live times so the
+            # heap stays O(n_threads) and pops stop churning on staleness.
+            ready[:] = [(t, tid) for tid, t in enumerate(times)]
+            heapq.heapify(ready)
         while True:
             t, tid = ready[0]
             live = times[tid]
@@ -139,12 +146,34 @@ class VirtualClock:
 
     def sync_all(self) -> float:
         """Barrier: bring every thread up to the maximum timeline."""
-        top = max(self._times)
-        for tid in range(len(self._times)):
-            self._times[tid] = top
-        self.now = top
-        self._max_seen = max(self._max_seen, top)
-        return top
+        return self.sync_to(max(self._times))
+
+    def sync_to(self, t_ns: float) -> float:
+        """Barrier to an externally supplied instant ``t_ns``.
+
+        Every timeline jumps to ``t_ns`` — the cross-process analogue of
+        :meth:`sync_all`: shard workers adopt the cluster-wide epoch
+        computed by the parent from all shards' local maxima.  ``t_ns``
+        may not rewind any thread (monotonicity is what makes the lazy
+        heap sound).
+        """
+        if t_ns < max(self._times):
+            raise ValueError(
+                f"sync_to({t_ns}) would rewind a timeline "
+                f"(max is {max(self._times)})"
+            )
+        times = self._times
+        for tid in range(len(times)):
+            times[tid] = t_ns
+        self.now = t_ns
+        if t_ns > self._max_seen:
+            self._max_seen = t_ns
+        # A barrier staleness-invalidates every heap entry at once;
+        # rebuilding here is cheaper than n heapreplace churns on the
+        # next next_thread() pass.  Equal keys in tid order already
+        # satisfy the heap invariant.
+        self._ready[:] = [(t_ns, tid) for tid in range(len(times))]
+        return t_ns
 
     def reset(self) -> None:
         for tid in range(len(self._times)):

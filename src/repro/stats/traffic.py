@@ -264,6 +264,23 @@ class LatencyRecorder:
     def ops(self) -> List[str]:
         return sorted(self._samples)
 
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other``'s samples into this recorder.
+
+        Merging preserves the sample multiset per op, and every reported
+        quantity (:meth:`summary`, :meth:`percentile`) is computed over
+        the *sorted* samples — so any grouping of per-shard recorders
+        merges to bit-identical summaries, which is what lets the
+        process-parallel serving path reduce per-worker fragments into
+        the same document the serial path writes.
+        """
+        for op in sorted(other._samples):
+            samples = other._samples[op]
+            if samples:
+                self._samples[op].extend(samples)
+                self._sorted_cache.pop(op, None)
+        return self
+
     def reset(self) -> None:
         self._samples.clear()
         self._sorted_cache.clear()

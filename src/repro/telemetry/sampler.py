@@ -113,6 +113,33 @@ class TelemetrySampler:
         self._outages: List[Dict] = []
         self._t_end: Optional[float] = None
 
+    @classmethod
+    def merged(
+        cls,
+        t0: float,
+        sample_every_ns: float,
+        meta: Optional[Dict],
+        rows: List[Dict],
+        outages: List[Dict],
+    ) -> "TelemetrySampler":
+        """Reassemble a sampler from per-shard fragments.
+
+        The process-parallel serving path samples each device in the
+        worker that owns it; the reducer concatenates the per-worker
+        ``rows`` and ``outages`` (each device's series produced by
+        exactly one worker) and rebuilds a sampler equivalent to the
+        serial run's.  Row order does not matter — every exported view
+        goes through :meth:`sorted_rows` — but the caller must pass
+        ``outages`` in the serial emission order (populated faulted
+        devices by index, then tenant-less ones).  Call
+        :meth:`finalize` afterwards to close the series at the global
+        run end.
+        """
+        sampler = cls(t0, sample_every_ns, meta)
+        sampler.rows = list(rows)
+        sampler._outages = list(outages)
+        return sampler
+
     # ------------------------------------------------------------------ #
     # registration (setup phase)
     # ------------------------------------------------------------------ #

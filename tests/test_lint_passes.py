@@ -443,6 +443,27 @@ def test_telemetry_package_is_registered_with_every_pass():
     assert "repro.telemetry" in SERVE_ROOTS
 
 
+def test_parallel_serving_modules_are_registered_with_every_pass():
+    """The process-parallel serving modules (shard kernel, worker,
+    reducer) ride on the ``repro.cluster`` prefix registrations: they
+    must be serve-reachable (CONC rules), blessed clock consumers (the
+    worker orchestrator times the drain phase), host-side (LAY001), and
+    stack-guarded (crash sites fire inside the shard drain).  If they
+    ever move out of the package, this pins that the registries must
+    move with them."""
+    from repro.analysis.concurrency import SERVE_ROOTS
+    from repro.analysis.crashsites import STACK_PREFIXES
+    from repro.analysis.determinism import DET001_CONSUMERS, _module_in
+    from repro.analysis.layering import HOST_PREFIXES
+
+    for mod in ("repro.cluster.kernel", "repro.cluster.worker",
+                "repro.cluster.merge"):
+        assert _module_in(mod, SERVE_ROOTS)
+        assert _module_in(mod, DET001_CONSUMERS)
+        assert _module_in(mod, HOST_PREFIXES)
+        assert _module_in(mod, STACK_PREFIXES)
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #

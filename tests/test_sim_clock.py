@@ -82,3 +82,65 @@ def test_reset():
     clk.reset()
     assert clk.now == 0
     assert clk.elapsed_ns == 0
+
+
+def test_ready_heap_stays_bounded_across_switch_cycles():
+    # The lazy heap revalidates stale entries in place (heapreplace), so
+    # arbitrarily many switch/advance/next_thread cycles must never grow
+    # it beyond one entry per timeline.
+    clk = VirtualClock(8)
+    for round_ in range(200):
+        tid = clk.next_thread()
+        clk.switch(tid)
+        clk.advance(10 + (tid + round_) % 7)
+        assert len(clk._ready) == clk.n_threads
+
+
+def test_ready_heap_stays_bounded_across_sync_cycles():
+    # Barriers rebuild the heap outright; interleaving them with normal
+    # scheduling must not leak entries either.
+    clk = VirtualClock(4)
+    for round_ in range(50):
+        for tid in range(4):
+            clk.switch(tid)
+            clk.advance(5 * (tid + 1))
+        assert clk.next_thread() == 0
+        clk.sync_all()
+        assert len(clk._ready) == clk.n_threads
+
+
+def test_next_thread_compacts_artificially_bloated_heap():
+    # A client that pushed refreshed entries instead of replacing in
+    # place would bloat the heap with stale duplicates; next_thread's
+    # compaction backstop rebuilds from the live timelines.
+    import heapq
+
+    clk = VirtualClock(4)
+    clk.switch(1)
+    clk.advance(100)
+    for stale_t in range(20):
+        heapq.heappush(clk._ready, (float(stale_t), 1))
+    assert len(clk._ready) > 2 * clk.n_threads
+    assert clk.next_thread() == 0
+    assert len(clk._ready) == clk.n_threads
+    assert sorted(tid for _, tid in clk._ready) == [0, 1, 2, 3]
+
+
+def test_sync_to_adopts_external_epoch():
+    clk = VirtualClock(3)
+    clk.switch(0)
+    clk.advance(250)
+    assert clk.sync_to(400) == 400
+    assert [clk.time_of(t) for t in range(3)] == [400, 400, 400]
+    assert clk.now == 400
+    assert clk.elapsed_ns == 400
+    assert len(clk._ready) == clk.n_threads
+    assert clk.next_thread() == 0
+
+
+def test_sync_to_refuses_to_rewind():
+    clk = VirtualClock(2)
+    clk.switch(1)
+    clk.advance(1000)
+    with pytest.raises(ValueError):
+        clk.sync_to(999)
