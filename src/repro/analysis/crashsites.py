@@ -53,7 +53,15 @@ from repro.analysis.project import FunctionInfo, ProjectIndex
 #: serving layer (repro.cluster) sits at the host->device boundary but
 #: drives the same device mutations, so it is swept for unregistered
 #: mutation paths too.
-STACK_PREFIXES = ("repro.ssd", "repro.ftl", "repro.nand", "repro.cluster")
+STACK_PREFIXES = (
+    "repro.ssd",
+    "repro.ftl",
+    "repro.nand",
+    "repro.cluster",
+    # the device-DRAM cache tier sits between firmware and the FTL and
+    # issues the same mutation primitives (write-back, trim forwarding)
+    "repro.devcache",
+)
 
 #: Bare names of device-visible mutation primitives.
 MUTATION_PRIMITIVES = {

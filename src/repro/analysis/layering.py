@@ -45,6 +45,9 @@ DEVICE_INTERNAL_PREFIXES = (
     "repro.ftl.mapping",
     "repro.ssd.firmware",
     "repro.sim.resources",
+    # the device-DRAM cache tier lives behind the firmware; host code
+    # may exchange only its DevCacheConfig across the boundary
+    "repro.devcache",
 )
 
 RULE = "LAY001"

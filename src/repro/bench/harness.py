@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.core.bytefs import build_stack
+from repro.devcache import DevCacheConfig
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
 from repro.sim.clock import SEC
@@ -166,6 +167,7 @@ def run_workload(
     log_bytes: int = 1 << 20,
     device_cache_bytes: int = 1 << 20,
     page_cache_pages: int = 512,
+    devcache: Optional[DevCacheConfig] = None,
     unmount: bool = False,
     traced: bool = False,
     stack_probe: Optional[Callable] = None,
@@ -203,6 +205,7 @@ def run_workload(
         log_bytes=log_bytes,
         device_cache_bytes=device_cache_bytes,
         page_cache_pages=page_cache_pages,
+        devcache=devcache,
     )
     workload.setup(fs)
     # Measurement epoch: everything before this is free.

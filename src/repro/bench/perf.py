@@ -33,11 +33,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.harness import RunResult, run_workload
+from repro.devcache import DevCacheConfig
 from repro.nand.geometry import FlashGeometry
 from repro.workloads import (
     Fileserver,
     MicroCreate,
     MicroDelete,
+    MmapStress,
     OLTP,
     Varmail,
     Webserver,
@@ -65,7 +67,29 @@ WORKLOADS: Dict[str, Callable[[], Workload]] = {
     "fileserver": lambda: Fileserver(ops_per_thread=8),
     "webserver": lambda: Webserver(ops_per_thread=8),
     "oltp": lambda: OLTP(ops_per_thread=10),
+    "mmap_stress": lambda: MmapStress(
+        n_ops=600, n_threads=2, file_pages=96
+    ),
 }
+
+#: Per-workload harness overrides.  mmap_stress shrinks the host page
+#: cache so its working set spills to the device — that device-side
+#: traffic is exactly what the ``+devcache`` companion case absorbs.
+WORKLOAD_HARNESS_KW: Dict[str, Dict] = {
+    "mmap_stress": {"page_cache_pages": 128},
+}
+
+#: Suffix selecting the device-DRAM cache tier for a suite case, e.g.
+#: ``mmap_stress+devcache``: same workload, cache enabled.  The on/off
+#: pair pins both simulator speed and the cache's simulated effect
+#: (fewer flash ops in layer_calls = the hit-rate/write-absorption win).
+DEVCACHE_SUFFIX = "+devcache"
+
+#: The cache config behind ``+devcache`` cases: 1 MB LRU with the
+#: stride prefetcher (the docs/CACHING.md defaults).
+BENCH_DEVCACHE = DevCacheConfig(
+    cache_bytes=1 << 20, policy="lru", prefetch=True
+)
 
 #: The pinned default suite: every file system, plus extra ByteFS cases
 #: because its firmware (write log, skip-list index, log cleaning) is
@@ -82,6 +106,8 @@ DEFAULT_SUITE: Tuple[Tuple[str, str], ...] = (
     ("nova", "create"),
     ("pmfs", "varmail"),
     ("bytefs", "serve-32x4"),
+    ("bytefs", "mmap_stress"),
+    ("bytefs", "mmap_stress+devcache"),
 )
 
 #: Worker-scaling companions to the cluster case.  Deliberately NOT in
@@ -257,7 +283,12 @@ def run_case(fs: str, workload_name: str, repeat: int = 1) -> CaseResult:
     """Run one suite case ``repeat`` times; keep every wall sample."""
     if workload_name.startswith("serve-"):
         return run_cluster_case(fs, workload_name, repeat=repeat)
-    if workload_name not in WORKLOADS:
+    base_name = workload_name
+    devcache = None
+    if workload_name.endswith(DEVCACHE_SUFFIX):
+        base_name = workload_name[: -len(DEVCACHE_SUFFIX)]
+        devcache = BENCH_DEVCACHE
+    if base_name not in WORKLOADS:
         raise ValueError(f"unknown bench workload {workload_name!r}")
     case: Optional[CaseResult] = None
     for _ in range(max(1, repeat)):
@@ -271,9 +302,11 @@ def run_case(fs: str, workload_name: str, repeat: int = 1) -> CaseResult:
         try:
             result: RunResult = run_workload(
                 fs,
-                WORKLOADS[workload_name](),
+                WORKLOADS[base_name](),
                 geometry=BENCH_GEOMETRY,
                 stack_probe=probe,
+                devcache=devcache,
+                **WORKLOAD_HARNESS_KW.get(base_name, {}),
             )
         finally:
             if gc_was_enabled:

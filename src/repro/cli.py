@@ -29,8 +29,56 @@ from typing import Dict, Optional
 from repro.bench.harness import run_workload
 from repro.bench.report import format_table, normalize
 from repro.core.bytefs import FIRMWARE_FOR
+from repro.devcache import DevCacheConfig
 from repro.workloads import MACRO_WORKLOADS, MICRO_WORKLOADS, YCSB
 from repro.workloads.base import Workload
+
+#: --evict choices (hardcoded: the CLI is host code and may only import
+#: *Config names from the device-internal repro.devcache package)
+EVICT_CHOICES = ("lru", "clock", "hotcold")
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size: plain int or k/m/g suffix (``4m`` = 4 MiB)."""
+    text = text.strip().lower()
+    factor = 1
+    if text and text[-1] in "kmg":
+        factor = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        return int(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 1048576, 256k, 4m)"
+        )
+
+
+def _add_devcache_args(p) -> None:
+    p.add_argument(
+        "--devcache", type=_parse_size, default=0, metavar="SIZE",
+        help="device-DRAM page-frame cache between firmware and flash "
+        "(bytes, k/m/g suffixes ok; 0 = disabled, the default)",
+    )
+    p.add_argument(
+        "--evict", choices=EVICT_CHOICES, default="lru",
+        help="devcache eviction policy (default lru)",
+    )
+    p.add_argument(
+        "--prefetch", choices=("on", "off"), default="off",
+        help="devcache speculative stride prefetcher (default off)",
+    )
+
+
+def _devcache_config(args) -> Optional[DevCacheConfig]:
+    """The DevCacheConfig the --devcache/--evict/--prefetch flags ask
+    for, or None when the cache is disabled."""
+    if not args.devcache:
+        return None
+    return DevCacheConfig(
+        cache_bytes=args.devcache,
+        policy=args.evict,
+        prefetch=args.prefetch == "on",
+    )
 
 
 def _make_workload(name: str) -> Workload:
@@ -55,17 +103,28 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     wl = _make_workload(args.workload)
+    devcache = _devcache_config(args)
+    config_echo = {
+        "workload": args.workload,
+        "log_bytes": args.log_bytes,
+        "device_cache_bytes": args.device_cache_bytes,
+    }
+    if devcache is not None:
+        # Echoed only when enabled so cache-off documents stay
+        # byte-identical to pre-devcache ones.
+        config_echo["devcache"] = {
+            "cache_bytes": devcache.cache_bytes,
+            "policy": devcache.policy,
+            "prefetch": devcache.prefetch,
+        }
     result = run_workload(
         args.fs, wl,
         log_bytes=args.log_bytes,
         device_cache_bytes=args.device_cache_bytes,
+        devcache=devcache,
         # Reproducibility echo: the JSON document carries the resolved
         # seed and the harness knobs that produced it.
-        config_echo={
-            "workload": args.workload,
-            "log_bytes": args.log_bytes,
-            "device_cache_bytes": args.device_cache_bytes,
-        },
+        config_echo=config_echo,
     )
     if args.format == "json":
         print(json.dumps(result.to_json(), sort_keys=True, indent=2))
@@ -114,6 +173,7 @@ def _cmd_serve(args) -> int:
             queue_depth=args.queue_depth,
             max_queue=args.max_queue,
             quantum_ns=args.quantum_ns,
+            devcache=_devcache_config(args),
             faults=faults,
             outage_policy=args.outage_policy,
             sample_every_ns=args.sample_ns if telemetry_on else None,
@@ -443,6 +503,7 @@ def main(argv: Optional[list] = None) -> int:
     run_p.add_argument("--workload", default="varmail")
     run_p.add_argument("--log-bytes", type=int, default=1 << 20)
     run_p.add_argument("--device-cache-bytes", type=int, default=1 << 20)
+    _add_devcache_args(run_p)
     run_p.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="json: machine-readable run report (RunResult.to_json)",
@@ -484,6 +545,7 @@ def main(argv: Optional[list] = None) -> int:
         "--quantum-ns", type=float, default=None,
         help="DRR service quantum per weight unit (default 500us)",
     )
+    _add_devcache_args(serve_p)
     serve_p.add_argument(
         "--fault", action="append", default=None, metavar="SPEC",
         help="crash and recover a device mid-run: 'crash:dev<k>@t=<s>' "

@@ -49,6 +49,7 @@ def merge_shard_results(
     seed: int,
     outage_policy: str,
     fault_plan: Optional[List[Dict]],
+    devcache_echo: Optional[Dict],
     populated: Set[int],
     t0: float,
     t_end: float,
@@ -131,6 +132,7 @@ def merge_shard_results(
         dispatch_log=_merge_dispatch_logs(ordered, n_devices),
         outage_policy=outage_policy,
         fault_plan=fault_plan,
+        devcache=devcache_echo,
         recovery=[
             recovery_by_device[dev] for dev in sorted(recovery_by_device)
         ],

@@ -121,6 +121,10 @@ class ClusterRunResult:
     outage_policy: str = "requeue"
     #: DeviceCrash.to_json() echo of the requested faults; None = no faults
     fault_plan: Optional[List[Dict]] = None
+    #: DevCacheConfig echo when the device-DRAM cache tier was enabled;
+    #: None (cache off) omits the key so pre-devcache documents are
+    #: byte-identical
+    devcache: Optional[Dict] = None
     #: one record per power-cycled device, in device order; ``wall_s`` on
     #: these live records is the measured host time (nulled in to_json)
     recovery: List[Dict] = field(default_factory=list)
@@ -151,7 +155,7 @@ class ClusterRunResult:
         raise KeyError(name)
 
     def to_json(self) -> Dict:
-        return {
+        doc = {
             "schema": SCHEMA,
             "fs": self.fs_name,
             "scheduler": self.scheduler,
@@ -172,6 +176,9 @@ class ClusterRunResult:
             "tenants": [t.to_json(self.elapsed_s) for t in self.tenants],
             "devices": self.devices,
         }
+        if self.devcache is not None:
+            doc["devcache"] = self.devcache
+        return doc
 
 
 # ---------------------------------------------------------------------- #
@@ -378,4 +385,16 @@ def validate_cluster_run(doc: Dict) -> List[str]:
         _check_recovery(doc, problems)
         if plan is None and doc["recovery"]:
             problems.append("recovery section present without a fault_plan")
+    # the devcache echo is optional: absent means the cache tier was off
+    devcache = doc.get("devcache")
+    if devcache is not None:
+        if not isinstance(devcache, dict):
+            problems.append("devcache must be an object when present")
+        else:
+            if not isinstance(devcache.get("cache_bytes"), int):
+                problems.append("devcache.cache_bytes must be an int")
+            if not isinstance(devcache.get("policy"), str):
+                problems.append("devcache.policy must be a string")
+            if not isinstance(devcache.get("prefetch"), bool):
+                problems.append("devcache.prefetch must be a bool")
     return problems

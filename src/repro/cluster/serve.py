@@ -105,6 +105,18 @@ from repro.cluster.worker import ShardTask, run_shard_workers
 OUTAGE_POLICIES = ("requeue", "reject")
 
 
+def _devcache_echo(devcache) -> Optional[Dict]:
+    # Config echo of the device-DRAM cache tier; None (cache off) keeps
+    # the result document byte-identical to pre-devcache runs.
+    if devcache is None:
+        return None
+    return {
+        "cache_bytes": devcache.cache_bytes,
+        "policy": devcache.policy,
+        "prefetch": devcache.prefetch,
+    }
+
+
 def _sampler_meta(
     fs_name: str, sched: str, n_devices: int, queue_depth: int,
     max_queue: int, seed: int,
@@ -133,6 +145,7 @@ def serve_cluster(
     log_bytes: int = 1 << 20,
     device_cache_bytes: int = 1 << 20,
     page_cache_pages: int = 512,
+    devcache=None,
     traced: bool = False,
     keep_dispatch_log: bool = False,
     unmount: bool = False,
@@ -187,7 +200,8 @@ def serve_cluster(
             max_queue=max_queue, quantum_ns=quantum_ns,
             geometry=geometry, timing=timing, log_bytes=log_bytes,
             device_cache_bytes=device_cache_bytes,
-            page_cache_pages=page_cache_pages, traced=traced,
+            page_cache_pages=page_cache_pages, devcache=devcache,
+            traced=traced,
             keep_dispatch_log=keep_dispatch_log, unmount=unmount,
             fault_specs=fault_specs, outage_policy=outage_policy,
             sample_every_ns=sample_every_ns, workers=workers,
@@ -203,6 +217,7 @@ def serve_cluster(
         log_bytes=log_bytes,
         device_cache_bytes=device_cache_bytes,
         page_cache_pages=page_cache_pages,
+        devcache=devcache,
         queue_depth=queue_depth,
         fault_devices=fault_for,
     )
@@ -377,6 +392,7 @@ def serve_cluster(
         fault_plan=(
             [f.to_json() for f in fault_specs] if fault_specs else None
         ),
+        devcache=_devcache_echo(devcache),
         recovery=[
             frt.record for frt in fault_rt
             if frt is not None and frt.record is not None
@@ -402,6 +418,7 @@ def _serve_parallel(
     log_bytes: int,
     device_cache_bytes: int,
     page_cache_pages: int,
+    devcache,
     traced: bool,
     keep_dispatch_log: bool,
     unmount: bool,
@@ -476,6 +493,7 @@ def _serve_parallel(
             log_bytes=log_bytes,
             device_cache_bytes=device_cache_bytes,
             page_cache_pages=page_cache_pages,
+            devcache=devcache,
             faults=tuple(fault_specs),
             outage_policy=outage_policy,
             sample_every_ns=sample_every_ns,
@@ -499,6 +517,7 @@ def _serve_parallel(
         fault_plan=(
             [f.to_json() for f in fault_specs] if fault_specs else None
         ),
+        devcache_echo=_devcache_echo(devcache),
         populated=populated,
         t0=t0,
         t_end=t_end,

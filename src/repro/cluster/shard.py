@@ -22,6 +22,7 @@ import hashlib
 from typing import Collection, Dict, List, Optional
 
 from repro.core.bytefs import build_stack
+from repro.devcache import DevCacheConfig
 from repro.faults.injector import FaultInjector
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
@@ -58,6 +59,7 @@ class ShardedBackend:
         log_bytes: int = 1 << 20,
         device_cache_bytes: int = 1 << 20,
         page_cache_pages: int = 512,
+        devcache: Optional[DevCacheConfig] = None,
         queue_depth: int = 4,
         fault_devices: Collection[int] = (),
     ) -> None:
@@ -84,6 +86,7 @@ class ShardedBackend:
                 log_bytes=log_bytes,
                 device_cache_bytes=device_cache_bytes,
                 page_cache_pages=page_cache_pages,
+                devcache=devcache,
                 faults=injector,
                 clock=clock,
                 stats=stats,

@@ -290,6 +290,7 @@ _MICRO_COUNT_ARG = {
     "delete": "n_files",
     "mkdir": "n_dirs",
     "rmdir": "n_dirs",
+    "mmap_stress": "n_ops",
 }
 
 

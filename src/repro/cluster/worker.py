@@ -59,6 +59,7 @@ from repro.cluster.result import TenantResult
 from repro.cluster.sched import make_scheduler
 from repro.cluster.shard import ShardedBackend
 from repro.cluster.tenant import TenantSpec
+from repro.devcache import DevCacheConfig
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,9 @@ class ShardTask:
     log_bytes: int
     device_cache_bytes: int
     page_cache_pages: int
+    #: optional device-DRAM cache tier config (repro.devcache); frozen
+    #: and picklable, so it crosses the spawn boundary verbatim
+    devcache: Optional["DevCacheConfig"]
     #: the full fault plan — every worker builds an identical backend
     #: (injector wiring included) so device construction replays exactly
     faults: Tuple[DeviceCrash, ...]
@@ -142,6 +146,7 @@ def _run_shard(conn, task: ShardTask) -> ShardResult:
         log_bytes=task.log_bytes,
         device_cache_bytes=task.device_cache_bytes,
         page_cache_pages=task.page_cache_pages,
+        devcache=task.devcache,
         queue_depth=task.queue_depth,
         fault_devices=fault_for,
     )

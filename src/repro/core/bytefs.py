@@ -6,6 +6,7 @@ import enum
 from dataclasses import replace
 from typing import Optional, Tuple
 
+from repro.devcache import DevCacheConfig
 from repro.fs.extfs import ExtFS, ExtFSConfig
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import TimingModel
@@ -78,6 +79,7 @@ def build_stack(
     log_bytes: Optional[int] = None,
     device_cache_bytes: Optional[int] = None,
     page_cache_pages: Optional[int] = None,
+    devcache: Optional[DevCacheConfig] = None,
     faults=None,
     clock: Optional[VirtualClock] = None,
     stats: Optional[TrafficStats] = None,
@@ -115,6 +117,8 @@ def build_stack(
         cfg.baseline_fw = replace(
             cfg.baseline_fw, cache_bytes=device_cache_bytes
         )
+    if devcache is not None:
+        cfg.devcache = devcache
     device = MSSD(cfg, clock, stats, faults)
     if page_cache_pages is not None and fs_name in (
         "bytefs", "bytefs-log", "bytefs-dual", "ext4",

@@ -1,0 +1,75 @@
+"""Speculative prefetcher for the device-DRAM cache (Snippet 3's
+prefetch-on-predicted-access, scoped to this simulator).
+
+A small table of *streams* watches the demand-read LPA sequence.  Each
+stream covers one address region (``lpa >> stream_shift``); in the
+multi-tenant cluster every tenant's namespace occupies its own LPA
+range, so regions approximate per-tenant access streams without the
+device knowing about tenants.  A stream tracks the last LPA and the last
+inter-access stride; when the same non-zero stride repeats
+``min_confidence`` times (sequential scans are stride 1, strided scans
+stride k), the stream predicts the next ``degree`` LPAs on that stride.
+
+The table is LRU-bounded to ``max_streams`` entries and entirely
+deterministic: predictions are a pure function of the observed LPA
+sequence.  Accuracy accounting (issued / hit / wasted) lives in
+:class:`~repro.devcache.cache.DeviceCache`, which marks prefetched
+frames and watches whether a demand access arrives before eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class _Stream:
+    """Per-region stride detector state."""
+
+    __slots__ = ("last_lpa", "stride", "confidence")
+
+    def __init__(self, lpa: int) -> None:
+        self.last_lpa = lpa
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Sequential/strided stream detection over demand reads."""
+
+    def __init__(
+        self,
+        degree: int = 2,
+        min_confidence: int = 2,
+        max_streams: int = 8,
+        stream_shift: int = 8,
+    ) -> None:
+        self.degree = degree
+        self.min_confidence = min_confidence
+        self.max_streams = max_streams
+        self.stream_shift = stream_shift
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+
+    def observe(self, lpa: int) -> List[int]:
+        """Feed one demand read; return the predicted LPAs (maybe [])."""
+        region = lpa >> self.stream_shift
+        stream = self._streams.get(region)
+        if stream is None:
+            if len(self._streams) >= self.max_streams:
+                self._streams.popitem(last=False)
+            self._streams[region] = _Stream(lpa)
+            return []
+        self._streams.move_to_end(region)
+        delta = lpa - stream.last_lpa
+        stream.last_lpa = lpa
+        if delta == 0:
+            # Same page re-read: no direction signal, keep the stride.
+            return []
+        if delta == stream.stride:
+            stream.confidence += 1
+        else:
+            stream.stride = delta
+            stream.confidence = 1
+        if stream.confidence < self.min_confidence:
+            return []
+        return [lpa + stream.stride * i for i in range(1, self.degree + 1)]

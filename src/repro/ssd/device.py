@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.devcache.cache import DevCacheConfig, DeviceCache
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.ftl.ftl import FTL, FTLConfig
 from repro.interconnect.link import HostLink
@@ -59,6 +60,10 @@ class MSSDConfig:
     baseline_fw: BaselineFirmwareConfig = field(
         default_factory=BaselineFirmwareConfig
     )
+    #: optional device-DRAM page-frame cache between firmware and FTL
+    #: (repro.devcache); None = no cache tier, byte-identical to the
+    #: pre-devcache device.
+    devcache: Optional[DevCacheConfig] = None
 
 
 class MSSD:
@@ -100,14 +105,24 @@ class MSSD:
             stats,
             config.ftl,
         )
+        # Optional device-DRAM cache tier: the wrapper exposes the FTL
+        # surface the firmwares consume, so either firmware runs on top
+        # of it unchanged.  ``self.ftl`` stays the real FTL.
+        self.devcache: Optional[DeviceCache] = None
+        if config.devcache is not None and config.devcache.cache_bytes > 0:
+            self.devcache = DeviceCache(
+                self.ftl, config.devcache, config.timing, clock, stats
+            )
+            self.devcache.faults = self.faults
+        ftl_for_fw = self.devcache if self.devcache is not None else self.ftl
         self.firmware: Union[ByteFSFirmware, BaselineFirmware]
         if config.firmware == "bytefs":
             self.firmware = ByteFSFirmware(
-                self.ftl, config.timing, clock, stats, config.bytefs_fw
+                ftl_for_fw, config.timing, clock, stats, config.bytefs_fw
             )
         elif config.firmware == "baseline":
             self.firmware = BaselineFirmware(
-                self.ftl, config.timing, clock, stats, config.baseline_fw
+                ftl_for_fw, config.timing, clock, stats, config.baseline_fw
             )
         else:
             raise ValueError(f"unknown firmware variant {config.firmware!r}")
@@ -403,6 +418,10 @@ class MSSD:
         out["nand_reads"] = self.flash.reads
         out["nand_writes"] = self.flash.writes
         out["nand_erases"] = self.flash.erases
+        if self.devcache is not None:
+            # Keys appear only when the cache tier is configured, so
+            # cache-off telemetry documents stay byte-identical.
+            out.update(self.devcache.gauges())
         return out
 
 

@@ -15,6 +15,7 @@ from repro.workloads.micro import (
     MicroDelete,
     MicroMkdir,
     MicroRmdir,
+    MmapStress,
     MICRO_WORKLOADS,
 )
 from repro.workloads.filebench import (
@@ -34,6 +35,7 @@ __all__ = [
     "MicroDelete",
     "MicroMkdir",
     "MicroRmdir",
+    "MmapStress",
     "MICRO_WORKLOADS",
     "Varmail",
     "Fileserver",

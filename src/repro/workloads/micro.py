@@ -115,9 +115,112 @@ class MicroRmdir(Workload):
             yield "rmdir"
 
 
+class MmapStress(Workload):
+    """Memory-mapped I/O stress: the natural driver for the device-DRAM
+    cache tier (docs/CACHING.md).
+
+    Each thread maps a ``file_pages``-page file and runs three phases:
+
+    1. a **sequential scan** of the whole mapping (stride-1 page faults —
+       what the devcache prefetcher detects);
+    2. a **strided scan** (stride ``stride_pages``);
+    3. a **mixed tail**: hot-set reads over the first ``hot_pages``
+       pages, plus random stores with periodic ``msync``.
+
+    The combined working set is sized to overflow the host page cache
+    (default 4 threads x 192 pages = 768 pages vs. the harness's
+    512-page cache), so re-touches miss host DRAM and reach the device —
+    with the devcache on they hit device DRAM instead of NAND.
+
+    On file systems without ``mmap`` (f2fs/nova/pmfs) the same access
+    pattern runs through ``pread``/``pwrite``/``fsync``, so the workload
+    stays usable across the whole matrix.
+    """
+
+    name = "mmap_stress"
+    PAGE = 4096
+
+    def __init__(
+        self,
+        n_ops: int = 400,
+        n_threads: int = 4,
+        seed: int = 42,
+        file_pages: int = 192,
+        hot_pages: int = 16,
+        stride_pages: int = 4,
+    ) -> None:
+        super().__init__(seed)
+        self.n_ops = n_ops
+        self.n_threads = n_threads
+        self.file_pages = file_pages
+        self.hot_pages = min(hot_pages, file_pages)
+        self.stride_pages = stride_pages
+
+    def setup(self, fs: BaseFileSystem) -> None:
+        fs.mkdir("/mm")
+        payload = b"\x5a" * self.PAGE
+        for tid in range(self.n_threads):
+            fd = fs.open(f"/mm/f{tid}", O_CREAT | O_RDWR)
+            for _ in range(self.file_pages):
+                fs.write(fd, payload)
+            fs.fsync(fd)
+            fs.close(fd)
+
+    def thread_ops(self, fs: BaseFileSystem, tid: int) -> Iterator[str]:
+        n = self.n_ops // self.n_threads
+        page_bytes = self.PAGE
+        length = self.file_pages * page_bytes
+        fd = fs.open(f"/mm/f{tid}", O_RDWR)
+        mapped = fs.mmap(fd, 0, length) if hasattr(fs, "mmap") else None
+        rng = self.rng(f"ops{tid}")
+        store_payload = b"\xa5" * 1024
+        seq_pos = 0
+        stride_pos = tid  # offset the threads so their streams differ
+        try:
+            for i in range(n):
+                phase = (3 * i) // n
+                if phase == 0:
+                    page = seq_pos % self.file_pages
+                    seq_pos += 1
+                    op = "mmap_seq_read"
+                elif phase == 1:
+                    page = stride_pos % self.file_pages
+                    stride_pos += self.stride_pages
+                    op = "mmap_stride_read"
+                elif rng.random() < 0.35:
+                    page = rng.randrange(self.file_pages)
+                    off = page * page_bytes + 512
+                    if mapped is not None:
+                        mapped.store(off, store_payload)
+                        if i % 16 == 0:
+                            mapped.msync()
+                    else:
+                        fs.pwrite(fd, off, store_payload)
+                        if i % 16 == 0:
+                            fs.fsync(fd)
+                    yield "mmap_store"
+                    continue
+                else:
+                    page = rng.randrange(self.hot_pages)
+                    op = "mmap_hot_read"
+                if mapped is not None:
+                    mapped.load(page * page_bytes, page_bytes)
+                else:
+                    fs.pread(fd, page * page_bytes, page_bytes)
+                yield op
+        finally:
+            if mapped is not None:
+                mapped.msync()
+                mapped.close()
+            else:
+                fs.fsync(fd)
+            fs.close(fd)
+
+
 MICRO_WORKLOADS = {
     "create": MicroCreate,
     "delete": MicroDelete,
     "mkdir": MicroMkdir,
     "rmdir": MicroRmdir,
+    "mmap_stress": MmapStress,
 }

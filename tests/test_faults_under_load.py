@@ -33,6 +33,7 @@ from repro.cluster import (
     validate_cluster_run,
 )
 from repro.core.bytefs import build_stack
+from repro.devcache import DevCacheConfig
 from repro.faults import (
     CrashPoint,
     DeviceCrash,
@@ -155,6 +156,30 @@ def test_crash_with_torn_write_recovers_clean():
         if rec["fired"]["torn_bytes"]:
             assert fc["fault_torn_injected"] == 1
             assert rec["fired"]["torn_bytes"] < rec["fired"]["nbytes"]
+
+
+def test_crash_recover_matrix_cell_with_devcache():
+    """One matrix cell with the device-DRAM cache tier enabled: the
+    crash can now land on a devcache eviction/write-back/flush point,
+    but the cache lives in battery-backed DRAM, so every acked-durable
+    op must still survive the power loss — oracle clean, and the run
+    stays byte-deterministic with the cache in the stack."""
+    devcache = DevCacheConfig(cache_bytes=64 * 4096, policy="lru",
+                              prefetch=True)
+    crash = DeviceCrash(0, **TRIGGERS["after-ops"])
+    result = _serve("bytefs", "drr", crash, devcache=devcache)
+    doc = result.to_json()
+    assert validate_cluster_run(doc) == []
+    assert doc["devcache"] == {
+        "cache_bytes": 64 * 4096, "policy": "lru", "prefetch": True,
+    }
+    assert len(result.recovery) == 1
+    rec = result.recovery[0]
+    assert rec["oracle"]["clean"], rec["oracle"]["errors"]
+    assert rec["oracle"]["checked"] == ["a", "b"]
+    _assert_ledger(doc)
+    rerun = _serve("bytefs", "drr", crash, devcache=devcache)
+    assert _canonical(rerun) == _canonical(result)
 
 
 def test_per_device_fault_counters_surface_in_result():

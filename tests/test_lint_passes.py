@@ -464,6 +464,26 @@ def test_parallel_serving_modules_are_registered_with_every_pass():
         assert _module_in(mod, STACK_PREFIXES)
 
 
+def test_devcache_package_is_registered_with_every_pass():
+    """repro.devcache is device-internal (host code may import only its
+    DevCacheConfig across the boundary) and sits inside the
+    crash-site-guarded stack (dirty write-back issues the same mutation
+    primitives as firmware).  Dropping either registration would let an
+    unguarded eviction path or a host-side import of DeviceCache slip
+    through the lint gate unnoticed."""
+    from repro.analysis.crashsites import STACK_PREFIXES
+    from repro.analysis.determinism import _module_in
+    from repro.analysis.layering import DEVICE_INTERNAL_PREFIXES, HOST_PREFIXES
+
+    assert "repro.devcache" in STACK_PREFIXES
+    assert "repro.devcache" in DEVICE_INTERNAL_PREFIXES
+    # the cache tier lives behind the firmware: it must never be
+    # registered as host-side code
+    for mod in ("repro.devcache", "repro.devcache.cache",
+                "repro.devcache.policy", "repro.devcache.prefetch"):
+        assert not _module_in(mod, HOST_PREFIXES)
+
+
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #
